@@ -1,0 +1,52 @@
+// Ablation (paper section 5.2.1, Figure 6a vs 6b): backward proportional taps
+// reclaim unused energy from idle reserves.
+//
+// A plugin reserve fed at 70 mW but consuming nothing. Without a backward
+// tap the reserve accumulates indefinitely (energy no other application can
+// use); with a 0.1/s backward tap it caps at 700 mJ — a 10 s burst budget —
+// and everything beyond that returns to the source.
+#include "bench/bench_util.h"
+#include "src/apps/browser.h"
+
+namespace cinder {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — reclaiming unused energy with backward proportional taps",
+              "Figure 6b: idle reserve capped at rate/fraction; unused energy shared");
+
+  TableWriter t("idle plugin reserve level over time (mJ)");
+  t.SetColumns({"t_s", "no_backward_tap", "backward_0.1_per_s"});
+
+  SimConfig cfg;
+  cfg.decay_enabled = false;  // Isolate the tap mechanism from global decay.
+  Simulator sim_a(cfg);
+  BrowserApp plain(&sim_a, {});
+  Simulator sim_b(cfg);
+  BrowserApp::Config back_cfg;
+  back_cfg.backward_proportional = true;
+  BrowserApp shared(&sim_b, back_cfg);
+
+  for (int step = 0; step <= 12; ++step) {
+    if (step > 0) {
+      sim_a.Run(Duration::Seconds(10));
+      sim_b.Run(Duration::Seconds(10));
+    }
+    Reserve* ra = sim_a.kernel().LookupTyped<Reserve>(plain.plugin_reserve());
+    Reserve* rb = sim_b.kernel().LookupTyped<Reserve>(shared.plugin_reserve());
+    t.AddRow({std::to_string(step * 10), TableWriter::Num(ra->energy().millijoules_f(), 0),
+              TableWriter::Num(rb->energy().millijoules_f(), 0)});
+  }
+  t.Print();
+  std::printf("summary: the backward tap pins the idle reserve near 70 mW / 0.1 s^-1 =\n"
+              "700 mJ (a 10 s burst budget) while the untapped reserve grows without\n"
+              "bound; the browser reserve equilibrates near 7000 mJ the same way.\n");
+}
+
+}  // namespace
+}  // namespace cinder
+
+int main() {
+  cinder::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation (paper section 5.2.2): the shipped anti-hoarding design (global
+// decay) versus the stricter alternative the paper sketches (reserve_clone +
+// restricted transfers), versus no defense.
+//
+// Attack: a malicious app with a 100 mW tap repeatedly mints fresh reserves
+// and shuttles its income into them, trying to escape taxation.
+#include "bench/bench_util.h"
+#include "src/core/syscalls.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+namespace {
+
+enum class Defense { kNone, kDecay, kStrictClone };
+
+double HoardAfter(Defense defense, Duration horizon) {
+  SimConfig cfg;
+  cfg.decay_enabled = defense == Defense::kDecay;
+  Simulator sim(cfg);
+  Kernel& k = sim.kernel();
+  Thread* boot = sim.boot_thread();
+  Thread* sys = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "sys");
+  Category sys_cat = k.categories().Allocate();
+  sys->GrantPrivilege(sys_cat);
+
+  auto proc = sim.CreateProcess("evil");
+  Thread* evil = k.LookupTyped<Thread>(proc.thread);
+  ObjectId income =
+      ReserveCreate(k, *boot, proc.container, Label(Level::k1), "income").value();
+  ObjectId tap = TapCreate(k, sim.taps(), *boot, proc.container, sim.battery_reserve_id(),
+                           income, Label(Level::k1), "tap")
+                     .value();
+  (void)TapSetConstantPower(k, *boot, tap, Power::Milliwatts(100));
+
+  if (defense == Defense::kStrictClone) {
+    // The system imposes a locked 0.00116/s drain (the 10-min half-life
+    // expressed as a backward tap) on the income reserve.
+    Label locked(Level::k1);
+    locked.Set(sys_cat, Level::k0);
+    ObjectId tax = TapCreate(k, sim.taps(), *sys, k.root_container_id(), income,
+                             sim.battery_reserve_id(), locked, "tax")
+                       .value();
+    (void)TapSetProportionalRate(k, *sys, tax, 0.0011552453);  // ln2 / 600 s.
+  }
+
+  // The attack: every 10 s, mint a new stash reserve and move everything in.
+  std::vector<ObjectId> stashes{income};
+  std::function<void()> shuttle = [&] {
+    ObjectId target;
+    if (defense == Defense::kStrictClone) {
+      // reserve_create is replaced by reserve_clone: the stash inherits the
+      // tax, and strict transfer would refuse an untaxed target anyway.
+      target = ReserveClone(k, sim.taps(), *evil, income, proc.container, Label(Level::k1),
+                            "stash")
+                   .value_or(kInvalidObjectId);
+    } else {
+      target = ReserveCreate(k, *evil, proc.container, Label(Level::k1), "stash")
+                   .value_or(kInvalidObjectId);
+    }
+    if (target != kInvalidObjectId) {
+      for (ObjectId from : stashes) {
+        Quantity lvl = ReserveLevel(k, *evil, from).value_or(0);
+        if (lvl > 0) {
+          if (defense == Defense::kStrictClone) {
+            (void)ReserveTransferStrict(k, sim.taps(), *evil, from, target, lvl);
+          } else {
+            (void)ReserveTransfer(k, *evil, from, target, lvl);
+          }
+        }
+      }
+      stashes.push_back(target);
+    }
+    sim.ScheduleAfter(Duration::Seconds(10), shuttle);
+  };
+  sim.ScheduleAfter(Duration::Seconds(10), shuttle);
+
+  sim.Run(horizon);
+  Quantity total = 0;
+  for (ObjectId r : stashes) {
+    total += ReserveLevel(k, *boot, r).value_or(0);
+  }
+  return ToEnergy(total).joules_f();
+}
+
+void Run() {
+  PrintHeader("Ablation — hoarding defenses: none vs decay vs reserve_clone (section 5.2.2)",
+              "the shell game defeats decay-free systems; both defenses bound the hoard");
+  TableWriter t("hoard accumulated by the shell-game attacker (100 mW tap)");
+  t.SetColumns({"defense", "30_min_J", "60_min_J", "bounded"});
+  const double none30 = HoardAfter(Defense::kNone, Duration::Minutes(30));
+  const double none60 = HoardAfter(Defense::kNone, Duration::Minutes(60));
+  const double decay30 = HoardAfter(Defense::kDecay, Duration::Minutes(30));
+  const double decay60 = HoardAfter(Defense::kDecay, Duration::Minutes(60));
+  const double strict30 = HoardAfter(Defense::kStrictClone, Duration::Minutes(30));
+  const double strict60 = HoardAfter(Defense::kStrictClone, Duration::Minutes(60));
+  t.AddRow({"none", TableWriter::Num(none30, 1), TableWriter::Num(none60, 1), "no"});
+  t.AddRow({"global decay (shipped)", TableWriter::Num(decay30, 1),
+            TableWriter::Num(decay60, 1), "yes (~86.6 J)"});
+  t.AddRow({"reserve_clone + strict transfers", TableWriter::Num(strict30, 1),
+            TableWriter::Num(strict60, 1), "yes (~86.6 J)"});
+  t.Print();
+  std::printf("summary: the global decay bounds the hoard even though the attacker mints\n"
+              "fresh reserves (every reserve leaks); the strict design achieves the same\n"
+              "bound structurally — clones inherit the drain and strict transfers refuse\n"
+              "untaxed targets — at the cost of more complex application semantics, which\n"
+              "is exactly the trade-off the paper leaves open.\n");
+}
+
+}  // namespace
+}  // namespace cinder
+
+int main() {
+  cinder::Run();
+  return 0;
+}

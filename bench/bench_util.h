@@ -1,0 +1,32 @@
+// Shared helpers for the figure/table regeneration binaries.
+#pragma once
+
+#include <cstdio>
+
+#include "src/base/table_writer.h"
+#include "src/base/time_series.h"
+
+namespace cinder {
+
+// Prints a time series as CSV rows (time_s, value) under a titled block, with
+// optional downsampling to keep terminal output reviewable.
+inline void PrintSeries(const char* title, const TimeSeries& s,
+                        Duration bin = Duration::Zero()) {
+  const TimeSeries out = bin.IsPositive() ? s.Rebin(bin) : s;
+  std::printf("# series: %s (%zu points%s)\n", title, out.size(),
+              bin.IsPositive() ? ", rebinned" : "");
+  std::printf("time_s,%s\n", out.name().empty() ? "value" : out.name().c_str());
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::printf("%.1f,%.4f\n", out[i].time.seconds_f(), out[i].value);
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const char* fig, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", fig);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cinder

@@ -1,0 +1,42 @@
+// Figure 9: stacked per-process CPU energy estimates while process B forks
+// B1 (~5 s) and B2 (~10 s).
+//
+// Paper result: A keeps ~50% of the CPU (isolation from B's forks); B
+// subdivides its own power so B ~34 mW, B1/B2 ~17 mW each; the sum of the
+// estimates matches the measured CPU draw of ~139 mW.
+#include "bench/bench_util.h"
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9 — isolation: estimated per-process power, B forks at 5 s / 10 s",
+              "A steady ~68 mW; B 34 mW + B1/B2 17 mW each; sum ~= measured 139 mW");
+
+  IsolationResult r = RunIsolationScenario(Duration::Seconds(60));
+  PrintSeries("A (mW)", r.power_a);
+  PrintSeries("B (mW)", r.power_b);
+  PrintSeries("B1 (mW)", r.power_b1);
+  PrintSeries("B2 (mW)", r.power_b2);
+
+  TableWriter t("steady-state (last 30 s)");
+  t.SetColumns({"process", "estimated_mW", "paper_mW"});
+  t.AddRow({"A", TableWriter::Num(r.steady_a_mw, 1), "~68"});
+  t.AddRow({"B", TableWriter::Num(r.steady_b_mw, 1), "~34"});
+  t.AddRow({"B1", TableWriter::Num(r.steady_b1_mw, 1), "~17"});
+  t.AddRow({"B2", TableWriter::Num(r.steady_b2_mw, 1), "~17"});
+  t.AddRow({"sum", TableWriter::Num(r.steady_a_mw + r.steady_b_mw + r.steady_b1_mw +
+                                        r.steady_b2_mw, 1),
+            "~137"});
+  t.AddRow({"measured_cpu", TableWriter::Num(r.measured_cpu_mw, 1), "~139"});
+  t.Print();
+}
+
+}  // namespace
+}  // namespace cinder
+
+int main() {
+  cinder::Run();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 10: image viewer WITHOUT energy-aware scaling.
+//
+// Paper result: full-size (~2.7 MiB) downloads outrun the reserve's tap; the
+// reserve empties shortly into each batch and transfers stall, stretching the
+// run to ~2500 s.
+#include "bench/viewer_common.h"
+
+int main() {
+  cinder::PrintHeader("Figure 10 — image viewer, no application scaling",
+                      "constant bytes/image; reserve hits 0; run time ~2500 s");
+  cinder::RunViewerBench(/*adaptive=*/false);
+  return 0;
+}

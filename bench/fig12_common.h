@@ -1,0 +1,24 @@
+// Shared driver for the Figure 12a/12b task-manager benches.
+#pragma once
+
+#include "bench/bench_util.h"
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+
+inline void RunFig12(Power foreground_rate) {
+  BackgroundResult r = RunBackgroundScenario(foreground_rate);
+  PrintSeries("A estimated power (mW)", r.power_a);
+  PrintSeries("B estimated power (mW)", r.power_b);
+
+  TableWriter t("window means");
+  t.SetColumns({"window", "A_mW", "B_mW"});
+  t.AddRow({"background (2-10s)", TableWriter::Num(r.background_pair_mw / 2.0, 1),
+            TableWriter::Num(r.background_pair_mw / 2.0, 1)});
+  t.AddRow({"A foreground (12-20s)", TableWriter::Num(r.a_foreground_mw, 1), "-"});
+  t.AddRow({"after A demoted (23-28s)", TableWriter::Num(r.a_after_demotion_mw, 1), "-"});
+  t.AddRow({"after B demoted (40-50s)", "-", TableWriter::Num(r.b_after_demotion_mw, 1)});
+  t.Print();
+}
+
+}  // namespace cinder

@@ -1,0 +1,14 @@
+// Figure 12a: task manager with the foreground tap at exactly the CPU's
+// 137 mW.
+//
+// Paper result: the two background spinners share 14 mW; the foreground app
+// jumps to the full 137 mW during its window and returns to the background
+// share immediately after demotion (nothing to hoard).
+#include "bench/fig12_common.h"
+
+int main() {
+  cinder::PrintHeader("Figure 12a — foreground tap = 137 mW (exact CPU cost)",
+                      "fg app at 137 mW during its window; clean return to 7 mW after");
+  cinder::RunFig12(cinder::Power::Milliwatts(137));
+  return 0;
+}

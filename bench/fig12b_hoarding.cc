@@ -1,0 +1,14 @@
+// Figure 12b: task manager with the foreground tap at 300 mW — more than the
+// CPU can spend, so the foreground app accumulates energy.
+//
+// Paper result: after demotion the app keeps burning its hoard (A competes
+// ~50/50 while B is foreground; B then uses ~90% of the CPU after ITS
+// demotion), motivating the global decay half-life.
+#include "bench/fig12_common.h"
+
+int main() {
+  cinder::PrintHeader("Figure 12b — foreground tap = 300 mW (hoarding)",
+                      "demoted apps keep running hot on accumulated energy");
+  cinder::RunFig12(cinder::Power::Milliwatts(300));
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared driver for the Figure 13a/13b radio-access benches.
+#pragma once
+
+#include "bench/bench_util.h"
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+
+inline CooperationResult RunFig13(NetdMode mode) {
+  CooperationConfig cfg;
+  cfg.mode = mode;
+  if (mode == NetdMode::kUnrestricted) {
+    // The paper's uncooperative run staggered the pollers; measured drift
+    // kept their radio episodes disjoint (Figure 13a shows separated spikes).
+    cfg.mail_start = Duration::Seconds(30);
+  }
+  CooperationResult r = RunCooperationScenario(cfg);
+  PrintSeries("true power (W, rebinned to 2 s)", r.true_power_w, Duration::Seconds(2));
+  std::printf("summary: activations=%lld active_time_s=%.0f total_energy_J=%.0f "
+              "rss_polls=%lld mail_polls=%lld\n",
+              static_cast<long long>(r.activations), r.active_time_s, r.total_energy_j,
+              static_cast<long long>(r.rss_polls), static_cast<long long>(r.mail_polls));
+  return r;
+}
+
+}  // namespace cinder

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) for Cinder's kernel primitives: label
+// checks, reserve operations, tap-engine batches at varying scale, gate
+// calls, and scheduler picks. These quantify the claim of section 3.3 that
+// taps are cheaper than dedicated transfer threads: a full tap batch over N
+// taps is a tight loop, not N context switches.
+#include <benchmark/benchmark.h>
+
+#include "src/core/syscalls.h"
+#include "src/core/tap_engine.h"
+#include "src/histar/kernel.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+namespace {
+
+void BM_LabelFlowsTo(benchmark::State& state) {
+  Label a(Level::k1);
+  Label b(Level::k1);
+  for (int i = 0; i < 4; ++i) {
+    a.Set(static_cast<Category>(i + 1), Level::k2);
+    b.Set(static_cast<Category>(i + 1), Level::k3);
+  }
+  CategorySet privs;
+  privs.Add(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Label::FlowsTo(a, b, privs));
+  }
+}
+BENCHMARK(BM_LabelFlowsTo);
+
+void BM_ReserveConsume(benchmark::State& state) {
+  Reserve r(1, Label(Level::k1), "r");
+  r.Deposit(INT64_MAX / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Consume(137));
+  }
+}
+BENCHMARK(BM_ReserveConsume);
+
+void BM_ReserveTransferSyscall(benchmark::State& state) {
+  Kernel k;
+  Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+  Reserve* a = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "a");
+  Reserve* b = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "b");
+  a->Deposit(INT64_MAX / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReserveTransfer(k, *t, a->id(), b->id(), 1000));
+  }
+}
+BENCHMARK(BM_ReserveTransferSyscall);
+
+void BM_TapBatch(benchmark::State& state) {
+  const int n_taps = static_cast<int>(state.range(0));
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = false;
+  for (int i = 0; i < n_taps; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", battery->id(),
+                             r->id());
+    tap->SetConstantPower(Power::Milliwatts(1));
+    engine.Register(tap->id());
+  }
+  for (auto _ : state) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  state.SetItemsProcessed(state.iterations() * n_taps);
+}
+BENCHMARK(BM_TapBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TapBatchWithDecay(benchmark::State& state) {
+  const int n_reserves = static_cast<int>(state.range(0));
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = true;
+  for (int i = 0; i < n_reserves; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    r->Deposit(1000000000);
+  }
+  for (auto _ : state) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  state.SetItemsProcessed(state.iterations() * n_reserves);
+}
+BENCHMARK(BM_TapBatchWithDecay)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GateCall(benchmark::State& state) {
+  Kernel k;
+  Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+  AddressSpace* as = k.Create<AddressSpace>(k.root_container_id(), Label(Level::k1), "as");
+  Gate* g = k.Create<Gate>(k.root_container_id(), Label(Level::k1), "g", as->id());
+  g->set_handler([](Thread&, const GateMessage& msg) {
+    GateReply r;
+    r.rets.push_back(msg.args.empty() ? 0 : msg.args[0]);
+    return r;
+  });
+  GateMessage msg;
+  msg.args.push_back(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.GateCall(*t, g->id(), msg));
+  }
+}
+BENCHMARK(BM_GateCall);
+
+void BM_SchedulerPick(benchmark::State& state) {
+  const int n_threads = static_cast<int>(state.range(0));
+  Kernel k;
+  EnergyAwareScheduler sched(&k);
+  Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+  r->Deposit(INT64_MAX / 2);
+  for (int i = 0; i < n_threads; ++i) {
+    Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+    t->set_active_reserve(r->id());
+    sched.AddThread(t->id());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.PickNext(SimTime::Zero()));
+  }
+}
+BENCHMARK(BM_SchedulerPick)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.decay_enabled = true;
+  Simulator sim(cfg);
+  Kernel& k = sim.kernel();
+  for (int i = 0; i < 4; ++i) {
+    auto proc = sim.CreateProcess("p" + std::to_string(i));
+    Reserve* r = k.Create<Reserve>(proc.container, Label(Level::k1), "r");
+    r->Deposit(INT64_MAX / 4);
+    k.LookupTyped<Thread>(proc.thread)->set_active_reserve(r->id());
+    sim.AttachBody(proc.thread, std::make_unique<SpinBody>());
+  }
+  for (auto _ : state) {
+    sim.Step();
+  }
+}
+BENCHMARK(BM_SimulatorStep);
+
+void BM_ObjectCreateDelete(benchmark::State& state) {
+  Kernel k;
+  for (auto _ : state) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    benchmark::DoNotOptimize(r);
+    (void)k.Delete(r->id());
+  }
+}
+BENCHMARK(BM_ObjectCreateDelete);
+
+}  // namespace
+}  // namespace cinder

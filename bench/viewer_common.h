@@ -1,0 +1,40 @@
+// Shared driver for the Figure 10/11 image-viewer benches.
+#pragma once
+
+#include "bench/bench_util.h"
+#include "src/apps/image_viewer.h"
+
+namespace cinder {
+
+inline void RunViewerBench(bool adaptive) {
+  SimConfig sim_cfg;
+  sim_cfg.seed = 42;
+  Simulator sim(sim_cfg);
+  ImageViewerApp::Config cfg;
+  cfg.adaptive = adaptive;
+  ImageViewerApp viewer(&sim, cfg);
+  sim.Run(Duration::Seconds(3600));
+
+  PrintSeries("download reserve level (uJ, 1 s samples, rebinned to 10 s)",
+              viewer.reserve_trace(), Duration::Seconds(10));
+
+  TableWriter t("per-image transfer");
+  t.SetColumns({"image", "t_complete_s", "KiB", "quality"});
+  for (size_t i = 0; i < viewer.images().size(); ++i) {
+    const auto& img = viewer.images()[i];
+    t.AddRow({std::to_string(i + 1), TableWriter::Num(img.completed.seconds_f(), 0),
+              TableWriter::Num(static_cast<double>(img.bytes) / 1024.0, 0),
+              TableWriter::Num(img.quality, 2)});
+  }
+  t.Print();
+
+  std::printf("summary: done=%s finish_s=%.0f images=%d total_MiB=%.1f stall_quanta=%lld "
+              "reserve_min_uJ=%.0f\n",
+              viewer.Done() ? "yes" : "no", viewer.finished_at().seconds_f(),
+              viewer.images_completed(),
+              static_cast<double>(viewer.total_bytes()) / (1024.0 * 1024.0),
+              static_cast<long long>(viewer.stall_quanta()),
+              viewer.reserve_trace().MinValue());
+}
+
+}  // namespace cinder

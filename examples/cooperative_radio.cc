@@ -1,0 +1,55 @@
+// The Figure 8 cooperative network stack: two background pollers, each funded
+// to power the radio alone only every two minutes, pool energy in netd's
+// reserve and ride joint activations every minute instead (paper section
+// 5.5).
+#include <cstdio>
+
+#include "src/apps/poller.h"
+#include "src/core/syscalls.h"
+
+using namespace cinder;
+
+int main() {
+  Simulator sim;
+  NetdService netd(&sim, NetdMode::kCooperative);
+
+  PollerApp::Config rss_cfg;
+  rss_cfg.name = "rss";
+  rss_cfg.tap_rate = Power::Milliwatts(79);  // One activation per 2 min alone.
+  PollerApp rss(&sim, &netd, rss_cfg);
+
+  PollerApp::Config mail_cfg = rss_cfg;
+  mail_cfg.name = "mail";
+  mail_cfg.start_delay = Duration::Seconds(15);
+  PollerApp mail(&sim, &netd, mail_cfg);
+
+  std::printf("activation estimate: %s; pooling threshold (125%%): %s\n",
+              netd.ActivationEstimate().ToString().c_str(),
+              netd.PoolThreshold().ToString().c_str());
+
+  for (int minute = 1; minute <= 6; ++minute) {
+    sim.Run(Duration::Minutes(1));
+    std::printf("t=%dmin: activations=%lld rss_polls=%lld mail_polls=%lld pool=%s "
+                "radio_awake=%llds\n",
+                minute, static_cast<long long>(sim.radio().activation_count()),
+                static_cast<long long>(rss.polls_completed()),
+                static_cast<long long>(mail.polls_completed()),
+                netd.pool_reserve()->energy().ToString().c_str(),
+                static_cast<long long>(sim.radio_active_time().secs()));
+  }
+
+  std::printf("\nWorking alone each poller could afford one activation every two minutes;\n"
+              "pooling bought %lld joint activations in 6 minutes — both feeds stay a\n"
+              "minute fresh on the same energy budget (paper section 6.4).\n",
+              static_cast<long long>(netd.pooled_activations()));
+  std::printf("radio energy billed to rss: %s, to mail: %s (gate-accurate attribution)\n",
+              sim.meter()
+                  .ForPrincipalComponent(rss.proc().thread, Component::kRadio)
+                  .ToString()
+                  .c_str(),
+              sim.meter()
+                  .ForPrincipalComponent(mail.proc().thread, Component::kRadio)
+                  .ToString()
+                  .c_str());
+  return 0;
+}

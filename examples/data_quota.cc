@@ -1,0 +1,63 @@
+// The section 9 extension: reserves and taps repurposed for mobile data
+// quotas — "replacing the logical battery with a pool of network bytes" —
+// plus an SMS message quota.
+#include <cstdio>
+
+#include "src/core/syscalls.h"
+#include "src/sim/simulator.h"
+
+using namespace cinder;
+
+int main() {
+  Simulator sim;
+  Kernel& k = sim.kernel();
+  Thread* boot = sim.boot_thread();
+
+  // The monthly plan: 50 MiB of transferable bytes, the root of the byte
+  // consumption graph.
+  Reserve* plan = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "plan",
+                                    ResourceKind::kNetBytes);
+  plan->set_decay_exempt(true);
+  plan->Deposit(50LL * 1024 * 1024);
+  std::printf("data plan: %lld bytes\n", static_cast<long long>(plan->level()));
+
+  // A video app gets a hard 10 MiB subdivision...
+  ObjectId video = ReserveSplit(k, *boot, plan->id(), 10LL * 1024 * 1024,
+                                k.root_container_id(), Label(Level::k1), "video_quota")
+                       .value();
+  // ...while a chat app gets a drip of 2 KiB/s from the plan.
+  Reserve* chat = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "chat_quota",
+                                    ResourceKind::kNetBytes);
+  ObjectId drip = TapCreate(k, sim.taps(), *boot, k.root_container_id(), plan->id(),
+                            chat->id(), Label(Level::k1), "chat_drip")
+                      .value();
+  (void)TapSetConstantRate(k, *boot, drip, 2 * 1024);
+
+  // The video app binge-watches: it may burn its quota as fast as it likes,
+  // but not a byte of anyone else's.
+  Reserve* vq = k.LookupTyped<Reserve>(video);
+  while (vq->Consume(1024 * 1024) == Status::kOk) {
+  }
+  std::printf("video app spent its quota: video=%lld plan=%lld (untouched)\n",
+              static_cast<long long>(vq->level()), static_cast<long long>(plan->level()));
+
+  // The chat app's allowance accrues over time.
+  sim.Run(Duration::Minutes(5));
+  std::printf("after 5 min the chat drip accrued %lld bytes (~2 KiB/s)\n",
+              static_cast<long long>(chat->level()));
+
+  // SMS quota: three texts, then the kernel says no.
+  Reserve* sms =
+      k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "sms", ResourceKind::kSms);
+  sms->Deposit(3);
+  for (int i = 1; i <= 4; ++i) {
+    Status s = sms->Consume(1);
+    std::printf("send sms #%d: %s\n", i, std::string(StatusToString(s)).c_str());
+  }
+
+  // Kind safety: energy cannot masquerade as bytes.
+  Status mix = ReserveTransfer(k, *boot, sim.battery_reserve_id(), plan->id(), 1000);
+  std::printf("transfer joules into the data plan: %s\n",
+              std::string(StatusToString(mix)).c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "src/apps/browser.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+BrowserApp::BrowserApp(Simulator* sim, Config config) : sim_(sim), config_(config) {
+  Kernel& k = sim_->kernel();
+  Thread* boot = sim_->boot_thread();
+
+  browser_ = sim_->CreateProcess("browser");
+  plugin_ = sim_->CreateProcess("plugin", browser_.container);
+  extension_ = sim_->CreateProcess("extension", browser_.container);
+
+  browser_reserve_ =
+      ReserveCreate(k, *boot, browser_.container, Label(Level::k1), "browser/reserve").value();
+  browser_tap_ = TapCreate(k, sim_->taps(), *boot, browser_.container,
+                           sim_->battery_reserve_id(), browser_reserve_, Label(Level::k1),
+                           "browser/tap")
+                     .value();
+  (void)TapSetConstantPower(k, *boot, browser_tap_, config_.browser_rate);
+  k.LookupTyped<Thread>(browser_.thread)->set_active_reserve(browser_reserve_);
+
+  // Plugin subdivision: fed from the BROWSER's reserve, not the battery.
+  plugin_reserve_ =
+      ReserveCreate(k, *boot, plugin_.container, Label(Level::k1), "plugin/reserve").value();
+  plugin_tap_ = TapCreate(k, sim_->taps(), *boot, plugin_.container, browser_reserve_,
+                          plugin_reserve_, Label(Level::k1), "plugin/tap")
+                    .value();
+  (void)TapSetConstantPower(k, *boot, plugin_tap_, config_.plugin_rate);
+  k.LookupTyped<Thread>(plugin_.thread)->set_active_reserve(plugin_reserve_);
+
+  if (config_.backward_proportional) {
+    // Figure 6b: 0.1x backward proportional taps promote sharing of excess.
+    browser_back_tap_ = TapCreate(k, sim_->taps(), *boot, browser_.container, browser_reserve_,
+                                  sim_->battery_reserve_id(), Label(Level::k1),
+                                  "browser/back_tap")
+                            .value();
+    (void)TapSetProportionalRate(k, *boot, browser_back_tap_,
+                                 config_.backward_fraction_per_sec);
+    plugin_back_tap_ = TapCreate(k, sim_->taps(), *boot, plugin_.container, plugin_reserve_,
+                                 browser_reserve_, Label(Level::k1), "plugin/back_tap")
+                           .value();
+    (void)TapSetProportionalRate(k, *boot, plugin_back_tap_, config_.backward_fraction_per_sec);
+  }
+
+  // Extension: separate process with a seeded reserve and a service gate.
+  extension_reserve_ =
+      ReserveCreate(k, *boot, extension_.container, Label(Level::k1), "extension/reserve")
+          .value();
+  (void)ReserveTransfer(k, *boot, sim_->battery_reserve_id(), extension_reserve_,
+                        ToQuantity(config_.extension_seed));
+  k.LookupTyped<Thread>(extension_.thread)->set_active_reserve(extension_reserve_);
+
+  Gate* gate = k.Create<Gate>(extension_.container, Label(Level::k1), "extension/filter",
+                              extension_.address_space);
+  ObjectId ext_reserve = extension_reserve_;
+  gate->set_handler([&k, ext_reserve](Thread& caller, const GateMessage& msg) {
+    GateReply reply;
+    Reserve* r = k.LookupTyped<Reserve>(ext_reserve);
+    if (r == nullptr || msg.args.empty()) {
+      reply.status = Status::kErrInvalidArg;
+      return reply;
+    }
+    // The filtering work itself is paid by the extension's own budget; if it
+    // is exhausted the extension is "unresponsive due to lack of energy".
+    (void)caller;
+    reply.status = r->Consume(msg.args[0]);
+    return reply;
+  });
+  extension_gate_ = gate->id();
+}
+
+Result<ObjectId> BrowserApp::AddPage(Power rate, const std::string& name) {
+  Kernel& k = sim_->kernel();
+  Thread* browser = k.LookupTyped<Thread>(browser_.thread);
+  Container* page = k.Create<Container>(browser_.container, Label(Level::k1), name);
+  if (page == nullptr) {
+    return Status::kErrExhausted;
+  }
+  Result<ObjectId> tap = TapCreate(k, sim_->taps(), *browser, page->id(), browser_reserve_,
+                                   plugin_reserve_, Label(Level::k1), name + "/tap");
+  if (!tap.ok()) {
+    (void)k.Delete(page->id());
+    return tap.status();
+  }
+  CINDER_RETURN_IF_ERROR(TapSetConstantPower(k, *browser, tap.value(), rate));
+  ++open_pages_;
+  return page->id();
+}
+
+Status BrowserApp::ClosePage(ObjectId page_container) {
+  Status s = sim_->kernel().Delete(page_container);
+  if (s == Status::kOk && open_pages_ > 0) {
+    --open_pages_;
+  }
+  return s;
+}
+
+Status BrowserApp::QueryExtension(Energy work) {
+  Kernel& k = sim_->kernel();
+  Thread* browser = k.LookupTyped<Thread>(browser_.thread);
+  GateMessage msg;
+  msg.opcode = 1;
+  msg.args.push_back(ToQuantity(work));
+  GateReply reply = k.GateCall(*browser, extension_gate_, msg);
+  if (reply.status == Status::kOk) {
+    ++extension_served_;
+  } else {
+    ++extension_fallbacks_;
+  }
+  return reply.status;
+}
+
+}  // namespace cinder

@@ -1,0 +1,91 @@
+// The energy-constrained web browser with an isolated plugin (paper
+// sections 5.2 and 6.1, Figures 1 and 6).
+//
+// The browser draws from its own reserve, fed from the battery by a constant
+// tap (Figure 1: 750 mW guarantees >= 5 h on a 15 kJ battery). The plugin
+// gets a separate reserve fed from the *browser's* reserve by a low-rate tap
+// (Figure 6a): subdivision with isolation — a runaway plugin can never
+// consume more than its tap delivers, and the browser keeps the rest.
+//
+// With `backward_proportional` enabled (Figure 6b), both reserves also drain
+// back toward their source at a fraction per second, so unused energy is
+// returned for others to use: a reserve fed at rate R with a backward
+// fraction f stabilizes at R/f (70 mW at 0.1/s -> 700 mJ burst budget).
+//
+// Pages: the browser can attach extra taps to the plugin reserve, one per
+// page the plugin is rendering, each inside a per-page container. Navigating
+// away deletes the page container, and hierarchical GC revokes the tap —
+// "effectively revoking those power sources" (section 5.2).
+//
+// Extension: a separate ad-block process reachable via a gate. If the
+// extension's reserve is empty the query reports failure and the browser
+// falls back to the unaugmented page (section 5.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+class BrowserApp {
+ public:
+  struct Config {
+    Power browser_rate = Power::Milliwatts(750);
+    Power plugin_rate = Power::Milliwatts(70);
+    bool backward_proportional = false;
+    double backward_fraction_per_sec = 0.1;
+    // Extension energy budget (its reserve is seeded, not tapped, so tests
+    // can drain it deterministically).
+    Energy extension_seed = Energy::Millijoules(500);
+  };
+
+  BrowserApp(Simulator* sim, Config config);
+
+  const Simulator::Process& browser_proc() const { return browser_; }
+  const Simulator::Process& plugin_proc() const { return plugin_; }
+  ObjectId browser_reserve() const { return browser_reserve_; }
+  ObjectId plugin_reserve() const { return plugin_reserve_; }
+  ObjectId browser_tap() const { return browser_tap_; }
+  ObjectId plugin_tap() const { return plugin_tap_; }
+
+  // -- Per-page power sources ---------------------------------------------------
+  // Adds a page the plugin is handling: a per-page container holding a tap
+  // that feeds the plugin reserve at `rate`. Returns the page container id.
+  Result<ObjectId> AddPage(Power rate, const std::string& name);
+  // The user navigated away: delete the page container; the tap inside is
+  // garbage collected with it.
+  Status ClosePage(ObjectId page_container);
+  size_t open_pages() const { return open_pages_; }
+
+  // -- Extension ------------------------------------------------------------------
+  ObjectId extension_reserve() const { return extension_reserve_; }
+  // Asks the extension to filter a page (costs `work` from the extension's
+  // reserve). Returns kErrNoResource when the extension is out of energy; the
+  // browser then renders the unaugmented page.
+  Status QueryExtension(Energy work);
+  int64_t extension_served() const { return extension_served_; }
+  int64_t extension_fallbacks() const { return extension_fallbacks_; }
+
+ private:
+  Simulator* sim_;
+  Config config_;
+  Simulator::Process browser_;
+  Simulator::Process plugin_;
+  Simulator::Process extension_;
+  ObjectId browser_reserve_ = kInvalidObjectId;
+  ObjectId plugin_reserve_ = kInvalidObjectId;
+  ObjectId browser_tap_ = kInvalidObjectId;
+  ObjectId plugin_tap_ = kInvalidObjectId;
+  ObjectId browser_back_tap_ = kInvalidObjectId;
+  ObjectId plugin_back_tap_ = kInvalidObjectId;
+  ObjectId extension_reserve_ = kInvalidObjectId;
+  ObjectId extension_gate_ = kInvalidObjectId;
+  size_t open_pages_ = 0;
+  int64_t extension_served_ = 0;
+  int64_t extension_fallbacks_ = 0;
+};
+
+}  // namespace cinder

@@ -1,0 +1,69 @@
+#include "src/apps/energywrap.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+Result<EnergyWrapped> EnergyWrap(Simulator& sim, Thread& invoker, ObjectId source_reserve,
+                                 Power rate, const std::string& name,
+                                 std::unique_ptr<ThreadBody> body, ObjectId parent_container) {
+  return EnergyWrapSeeded(sim, invoker, source_reserve, rate, Energy::Zero(), name,
+                          std::move(body), parent_container);
+}
+
+Result<EnergyWrapped> EnergyWrapSeeded(Simulator& sim, Thread& invoker, ObjectId source_reserve,
+                                       Power rate, Energy seed, const std::string& name,
+                                       std::unique_ptr<ThreadBody> body,
+                                       ObjectId parent_container) {
+  Kernel& k = sim.kernel();
+  EnergyWrapped out;
+  // "fork": a fresh process (container + address space + thread).
+  out.proc = sim.CreateProcess(name, parent_container);
+
+  // reserve_create
+  Result<ObjectId> res =
+      ReserveCreate(k, invoker, out.proc.container, Label(Level::k1), name + "/reserve");
+  if (!res.ok()) {
+    (void)k.Delete(out.proc.container);
+    return res.status();
+  }
+  out.reserve = res.value();
+
+  // tap_create + tap_set_rate(TAP_TYPE_CONST, rate)
+  Result<ObjectId> tap = TapCreate(k, sim.taps(), invoker, out.proc.container, source_reserve,
+                                   out.reserve, Label(Level::k1), name + "/tap");
+  if (!tap.ok()) {
+    (void)k.Delete(out.proc.container);
+    return tap.status();
+  }
+  out.tap = tap.value();
+  Status s = TapSetConstantPower(k, invoker, out.tap, rate);
+  if (s != Status::kOk) {
+    (void)k.Delete(out.proc.container);
+    return s;
+  }
+
+  if (seed.IsPositive()) {
+    s = ReserveTransfer(k, invoker, source_reserve, out.reserve, ToQuantity(seed));
+    if (s != Status::kOk) {
+      (void)k.Delete(out.proc.container);
+      return s;
+    }
+  }
+
+  // child: self_set_active_reserve(res) before exec.
+  Thread* child = k.LookupTyped<Thread>(out.proc.thread);
+  s = SelfSetActiveReserve(k, *child, out.reserve);
+  if (s != Status::kOk) {
+    (void)k.Delete(out.proc.container);
+    return s;
+  }
+
+  // exec: attach the program.
+  if (body != nullptr) {
+    sim.AttachBody(out.proc.thread, std::move(body));
+  }
+  return out;
+}
+
+}  // namespace cinder

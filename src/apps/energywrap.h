@@ -1,0 +1,41 @@
+// energywrap: sandbox any program with an energy policy (paper section 5.1).
+//
+// Mirrors the paper's Figure 5 sequence: create a reserve, connect it to the
+// invoker's reserve with a constant-rate tap, fork, switch the child to the
+// new reserve, exec. Because the wrapped program draws only from the new
+// reserve, even an energy-unaware or malicious binary is rate limited; and
+// because the source is the *invoker's* reserve, wraps compose — energywrap
+// can wrap itself or shell scripts that invoke it again.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+struct EnergyWrapped {
+  Simulator::Process proc;
+  ObjectId reserve = kInvalidObjectId;
+  ObjectId tap = kInvalidObjectId;
+};
+
+// Launches `body` as a new process limited to `rate`, drawing from
+// `source_reserve` (typically the invoker's own reserve — subdivision — or
+// the battery root). The new reserve and tap live in the new process's
+// container, so deleting the process revokes the power source too.
+Result<EnergyWrapped> EnergyWrap(Simulator& sim, Thread& invoker, ObjectId source_reserve,
+                                 Power rate, const std::string& name,
+                                 std::unique_ptr<ThreadBody> body,
+                                 ObjectId parent_container = kInvalidObjectId);
+
+// Variant seeding the new reserve with an initial quantity in addition to the
+// tap (delegating a lump sum plus a rate).
+Result<EnergyWrapped> EnergyWrapSeeded(Simulator& sim, Thread& invoker, ObjectId source_reserve,
+                                       Power rate, Energy seed, const std::string& name,
+                                       std::unique_ptr<ThreadBody> body,
+                                       ObjectId parent_container = kInvalidObjectId);
+
+}  // namespace cinder

@@ -1,0 +1,163 @@
+#include "src/apps/image_viewer.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+// Downloader state machine, driven one scheduler quantum at a time.
+class ImageViewerApp::Body final : public ThreadBody {
+ public:
+  explicit Body(ImageViewerApp* app) : app_(app) {}
+
+  void OnQuantum(QuantumContext& ctx) override {
+    ImageViewerApp* a = app_;
+    if (a->done_) {
+      ctx.thread.Halt();
+      return;
+    }
+    SampleReserve(ctx.now);
+    switch (state_) {
+      case State::kStartImage:
+        StartImage(ctx);
+        break;
+      case State::kDownloading:
+        DownloadStep(ctx);
+        break;
+      case State::kPausing:
+        // Sleeping threads do not reach OnQuantum; transition happens in
+        // DownloadStep via SleepUntil, so this is only hit on wake.
+        state_ = State::kStartImage;
+        break;
+    }
+  }
+
+ private:
+  enum class State { kStartImage, kDownloading, kPausing };
+
+  void SampleReserve(SimTime now) {
+    if (now >= next_sample_) {
+      const Reserve* r = app_->sim_->kernel().LookupTyped<Reserve>(app_->download_reserve_);
+      app_->reserve_trace_.Append(now, r == nullptr ? 0.0 : r->energy().microjoules_f());
+      next_sample_ = now + app_->config_.sample_interval;
+    }
+  }
+
+  void StartImage(QuantumContext& ctx) {
+    const Config& cfg = app_->config_;
+    quality_ = 1.0;
+    if (cfg.adaptive) {
+      // Energy-aware scaling: request only as many bytes as the current
+      // reserve level justifies (interlaced PNG prefix fetch).
+      const Reserve* r = ctx.kernel.LookupTyped<Reserve>(app_->download_reserve_);
+      const double level = r == nullptr ? 0.0 : static_cast<double>(r->level());
+      const double nominal = static_cast<double>(ToQuantity(cfg.nominal_level));
+      quality_ = level / nominal;
+      if (quality_ < cfg.quality_min) {
+        quality_ = cfg.quality_min;
+      }
+      if (quality_ > 1.0) {
+        quality_ = 1.0;
+      }
+    }
+    image_target_bytes_ = static_cast<int64_t>(static_cast<double>(cfg.image_full_bytes) *
+                                               quality_);
+    image_bytes_done_ = 0;
+    state_ = State::kDownloading;
+    DownloadStep(ctx);
+  }
+
+  void DownloadStep(QuantumContext& ctx) {
+    const Config& cfg = app_->config_;
+    Reserve* r = ctx.kernel.LookupTyped<Reserve>(app_->download_reserve_);
+    if (r == nullptr) {
+      return;
+    }
+    int64_t want = cfg.download_rate_bps * ctx.quantum.us() / 1000000;
+    if (want > image_target_bytes_ - image_bytes_done_) {
+      want = image_target_bytes_ - image_bytes_done_;
+    }
+    // Pay the NIC's per-byte cost from the download reserve. If the reserve
+    // cannot cover this quantum's bytes, the transfer stalls (Figure 10's
+    // long flat stretches) until the tap refills it.
+    const Quantity cost_per_byte = ToQuantity(cfg.net_energy_per_byte);
+    int64_t affordable = cost_per_byte > 0 ? r->level() / cost_per_byte : want;
+    if (affordable < 0) {
+      affordable = 0;
+    }
+    const int64_t bytes = want < affordable ? want : affordable;
+    if (bytes <= 0 && want > 0) {
+      ++app_->stall_quanta_;
+      return;
+    }
+    (void)r->Consume(bytes * cost_per_byte);
+    image_bytes_done_ += bytes;
+    app_->total_bytes_ += bytes;
+    if (image_bytes_done_ < image_target_bytes_) {
+      return;
+    }
+    // Image complete.
+    app_->images_.push_back({ctx.now, image_bytes_done_, quality_});
+    ++app_->images_completed_;
+    ++image_in_batch_;
+    if (image_in_batch_ < cfg.images_per_batch) {
+      state_ = State::kStartImage;
+      return;
+    }
+    // Batch complete: pause, then next batch (or finish).
+    image_in_batch_ = 0;
+    ++batch_;
+    if (batch_ >= cfg.num_batches) {
+      app_->done_ = true;
+      app_->finished_at_ = ctx.now;
+      ctx.thread.Halt();
+      return;
+    }
+    Duration pause = cfg.first_pause - cfg.pause_step * (batch_ - 1);
+    if (pause < Duration::Seconds(5)) {
+      pause = Duration::Seconds(5);
+    }
+    state_ = State::kPausing;
+    ctx.thread.SleepUntil(ctx.now + pause);
+  }
+
+  ImageViewerApp* app_;
+  State state_ = State::kStartImage;
+  int batch_ = 0;
+  int image_in_batch_ = 0;
+  int64_t image_target_bytes_ = 0;
+  int64_t image_bytes_done_ = 0;
+  double quality_ = 1.0;
+  SimTime next_sample_;
+};
+
+ImageViewerApp::ImageViewerApp(Simulator* sim, Config config) : sim_(sim), config_(config) {
+  Kernel& k = sim_->kernel();
+  Thread* boot = sim_->boot_thread();
+  proc_ = sim_->CreateProcess("viewer");
+
+  // CPU reserve: ample, fed from the battery, so the downloader's scheduling
+  // is never the bottleneck — the experiment isolates *network* energy, as in
+  // the paper's laptop setup.
+  cpu_reserve_ = ReserveCreate(k, *boot, proc_.container, Label(Level::k1), "viewer/cpu").value();
+  Result<ObjectId> cpu_tap =
+      TapCreate(k, sim_->taps(), *boot, proc_.container, sim_->battery_reserve_id(),
+                cpu_reserve_, Label(Level::k1), "viewer/cpu_tap");
+  (void)TapSetConstantPower(k, *boot, cpu_tap.value(), Power::Milliwatts(200));
+
+  download_reserve_ =
+      ReserveCreate(k, *boot, proc_.container, Label(Level::k1), "viewer/download").value();
+  Result<ObjectId> dl_tap =
+      TapCreate(k, sim_->taps(), *boot, proc_.container, sim_->battery_reserve_id(),
+                download_reserve_, Label(Level::k1), "viewer/download_tap");
+  (void)TapSetConstantPower(k, *boot, dl_tap.value(), config_.tap_rate);
+  // Seed the download reserve to its nominal level (the user pauses before
+  // the first batch in the paper's runs, filling the reserve).
+  (void)ReserveTransfer(k, *boot, sim_->battery_reserve_id(), download_reserve_,
+                        ToQuantity(config_.nominal_level));
+
+  Thread* t = k.LookupTyped<Thread>(proc_.thread);
+  t->set_active_reserve(cpu_reserve_);
+  sim_->AttachBody(proc_.thread, std::make_unique<Body>(this));
+}
+
+}  // namespace cinder

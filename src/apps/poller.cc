@@ -1,0 +1,108 @@
+#include "src/apps/poller.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+class PollerApp::Body final : public ThreadBody {
+ public:
+  explicit Body(PollerApp* app) : app_(app) {}
+
+  void OnQuantum(QuantumContext& ctx) override {
+    PollerApp* a = app_;
+    const Config& cfg = a->config_;
+    switch (state_) {
+      case State::kIdle: {
+        // Woke for a poll.
+        ++a->polls_started_;
+        remaining_ = cfg.payload_bytes;
+        credit_ = 0;
+        state_ = State::kTransferring;
+        [[fallthrough]];
+      }
+      case State::kTransferring: {
+        if (pending_packet_ > 0) {
+          // Retry a send that blocked on pooling.
+          if (!TrySend(ctx, pending_packet_)) {
+            return;
+          }
+          pending_packet_ = 0;
+        }
+        credit_ += cfg.bandwidth_bps * ctx.quantum.us() / 1000000;
+        while (remaining_ > 0) {
+          int64_t pkt = cfg.packet_bytes < remaining_ ? cfg.packet_bytes : remaining_;
+          if (credit_ < pkt) {
+            return;  // Link busy; keep accumulating next quantum.
+          }
+          if (!TrySend(ctx, pkt)) {
+            pending_packet_ = pkt;
+            return;  // Blocked inside netd; we were put to sleep.
+          }
+          credit_ -= pkt;
+          remaining_ -= pkt;
+          a->bytes_sent_ += pkt;
+        }
+        // Poll complete; schedule the next one.
+        ++a->polls_completed_;
+        a->completion_times_.push_back(ctx.now);
+        state_ = State::kIdle;
+        ctx.thread.SleepUntil(ctx.now + cfg.poll_interval);
+        return;
+      }
+    }
+  }
+
+ private:
+  enum class State { kIdle, kTransferring };
+
+  bool TrySend(QuantumContext& ctx, int64_t bytes) {
+    Status s = app_->netd_->Send(ctx.thread, bytes);
+    if (s == Status::kOk) {
+      return true;
+    }
+    if (s == Status::kErrWouldBlock) {
+      ++app_->times_blocked_;
+    }
+    // kErrNoResource: reserve too low even for data cost; the scheduler will
+    // starve us until taps refill — just retry on the next granted quantum.
+    return false;
+  }
+
+  PollerApp* app_;
+  State state_ = State::kIdle;
+  int64_t remaining_ = 0;
+  int64_t credit_ = 0;
+  int64_t pending_packet_ = 0;
+};
+
+PollerApp::PollerApp(Simulator* sim, NetdService* netd, Config config)
+    : sim_(sim), netd_(netd), config_(config) {
+  Kernel& k = sim_->kernel();
+  Thread* boot = sim_->boot_thread();
+  proc_ = sim_->CreateProcess(config_.name);
+  Thread* t = k.LookupTyped<Thread>(proc_.thread);
+
+  if (config_.energy_limited) {
+    reserve_ =
+        ReserveCreate(k, *boot, proc_.container, Label(Level::k1), config_.name + "/reserve")
+            .value();
+    Result<ObjectId> tap =
+        TapCreate(k, sim_->taps(), *boot, proc_.container, sim_->battery_reserve_id(), reserve_,
+                  Label(Level::k1), config_.name + "/tap");
+    (void)TapSetConstantPower(k, *boot, tap.value(), config_.tap_rate);
+    t->set_active_reserve(reserve_);
+  } else {
+    // Unrestricted baseline: draw straight from the battery root.
+    reserve_ = sim_->battery_reserve_id();
+    t->set_active_reserve(reserve_);
+  }
+
+  sim_->AttachBody(proc_.thread, std::make_unique<Body>(this));
+  // First poll after the start delay.
+  Thread* thread = t;
+  ObjectId tid = proc_.thread;
+  thread->SleepUntil(sim_->now() + config_.start_delay);
+  (void)tid;
+}
+
+}  // namespace cinder

@@ -1,0 +1,277 @@
+#include "src/apps/scenarios.h"
+
+#include <memory>
+
+#include "src/apps/poller.h"
+#include "src/apps/task_manager.h"
+#include "src/core/syscalls.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+namespace {
+
+// Samples per-thread estimated CPU power each second into a series.
+class PowerSampler {
+ public:
+  PowerSampler(Simulator* sim, std::vector<std::pair<ObjectId, TimeSeries*>> targets)
+      : sim_(sim), targets_(std::move(targets)) {
+    Arm();
+  }
+
+ private:
+  void Arm() {
+    sim_->ScheduleAfter(Duration::Seconds(1), [this] {
+      for (auto& [tid, series] : targets_) {
+        const Energy now_billed = sim_->meter().ForPrincipalComponent(tid, Component::kCpu);
+        const Energy delta = now_billed - last_[tid];
+        last_[tid] = now_billed;
+        series->Append(sim_->now(), AveragePower(delta, Duration::Seconds(1)).milliwatts_f());
+      }
+      Arm();
+    });
+  }
+
+  Simulator* sim_;
+  std::vector<std::pair<ObjectId, TimeSeries*>> targets_;
+  std::map<ObjectId, Energy> last_;
+};
+
+struct Spinner {
+  Simulator::Process proc;
+  ObjectId reserve = kInvalidObjectId;
+  ObjectId tap = kInvalidObjectId;
+};
+
+Spinner MakeSpinner(Simulator& sim, const std::string& name, ObjectId source, Power rate) {
+  Kernel& k = sim.kernel();
+  Thread* boot = sim.boot_thread();
+  Spinner s;
+  s.proc = sim.CreateProcess(name);
+  s.reserve = ReserveCreate(k, *boot, s.proc.container, Label(Level::k1), name + "/r").value();
+  s.tap = TapCreate(k, sim.taps(), *boot, s.proc.container, source, s.reserve, Label(Level::k1),
+                    name + "/tap")
+              .value();
+  (void)TapSetConstantPower(k, *boot, s.tap, rate);
+  k.LookupTyped<Thread>(s.proc.thread)->set_active_reserve(s.reserve);
+  sim.AttachBody(s.proc.thread, std::make_unique<SpinBody>());
+  return s;
+}
+
+double SteadyMeanMw(const TimeSeries& s, double from_sec) {
+  double sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i].time.seconds_f() >= from_sec) {
+      sum += s[i].value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double WindowMeanMw(const TimeSeries& s, double from_sec, double to_sec) {
+  double sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const double t = s[i].time.seconds_f();
+    if (t >= from_sec && t < to_sec) {
+      sum += s[i].value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace
+
+IsolationResult RunIsolationScenario(Duration horizon, uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  Simulator sim(cfg);
+
+  // Evenly subdivide the CPU's power between A and B: ~68 mW each.
+  Spinner a = MakeSpinner(sim, "A", sim.battery_reserve_id(), Power::Microwatts(68500));
+  Spinner b = MakeSpinner(sim, "B", sim.battery_reserve_id(), Power::Microwatts(68500));
+
+  IsolationResult out;
+  out.power_a.set_name("A_mW");
+  out.power_b.set_name("B_mW");
+  out.power_b1.set_name("B1_mW");
+  out.power_b2.set_name("B2_mW");
+
+  // B forks B1 at 5 s and B2 at 10 s, subdividing its OWN power: each child
+  // tap carries one quarter of B's 68.5 mW.
+  auto fork_child = [&](const std::string& name) {
+    Spinner child = MakeSpinner(sim, name, b.reserve, Power::Microwatts(68500 / 4));
+    return child.proc.thread;
+  };
+  ObjectId b1_thread = kInvalidObjectId;
+  ObjectId b2_thread = kInvalidObjectId;
+  std::unique_ptr<PowerSampler> sampler;
+  sim.ScheduleAfter(Duration::Seconds(5), [&] { b1_thread = fork_child("B1"); });
+  sim.ScheduleAfter(Duration::Seconds(10), [&] { b2_thread = fork_child("B2"); });
+
+  // Sample A and B from the start; B1/B2 join once forked (their series stay
+  // zero until then because the meter has no entries for them).
+  sim.ScheduleAfter(Duration::Millis(1), [&] {
+    sampler = std::make_unique<PowerSampler>(
+        &sim, std::vector<std::pair<ObjectId, TimeSeries*>>{{a.proc.thread, &out.power_a},
+                                                            {b.proc.thread, &out.power_b}});
+  });
+  // Separate sampler for the children once they exist.
+  std::unique_ptr<PowerSampler> child_sampler;
+  sim.ScheduleAfter(Duration::Seconds(10) + Duration::Millis(2), [&] {
+    child_sampler = std::make_unique<PowerSampler>(
+        &sim, std::vector<std::pair<ObjectId, TimeSeries*>>{{b1_thread, &out.power_b1},
+                                                            {b2_thread, &out.power_b2}});
+  });
+
+  sim.Run(horizon);
+
+  const double settle = horizon.seconds_f() - 30.0;
+  out.steady_a_mw = SteadyMeanMw(out.power_a, settle);
+  out.steady_b_mw = SteadyMeanMw(out.power_b, settle);
+  out.steady_b1_mw = SteadyMeanMw(out.power_b1, settle);
+  out.steady_b2_mw = SteadyMeanMw(out.power_b2, settle);
+  out.measured_cpu_mw =
+      sim.probe().trace().MeanValue() * 1000.0 - cfg.model.idle_baseline.milliwatts_f();
+  return out;
+}
+
+BackgroundResult RunBackgroundScenario(Power foreground_rate, Duration horizon, uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  Simulator sim(cfg);
+
+  TaskManager::Config tm_cfg;
+  tm_cfg.foreground_rate = foreground_rate;
+  tm_cfg.background_rate = Power::Milliwatts(14);
+  TaskManager tm(&sim, tm_cfg);
+
+  auto proc_a = sim.CreateProcess("A");
+  tm.RegisterApp(proc_a, "A");
+  sim.AttachBody(proc_a.thread, std::make_unique<SpinBody>());
+  auto proc_b = sim.CreateProcess("B");
+  tm.RegisterApp(proc_b, "B");
+  sim.AttachBody(proc_b.thread, std::make_unique<SpinBody>());
+
+  BackgroundResult out;
+  out.power_a.set_name("A_mW");
+  out.power_b.set_name("B_mW");
+  PowerSampler sampler(&sim, {{proc_a.thread, &out.power_a}, {proc_b.thread, &out.power_b}});
+
+  sim.ScheduleAfter(Duration::Seconds(10), [&] { (void)tm.SetForeground(proc_a.thread); });
+  sim.ScheduleAfter(Duration::Seconds(20), [&] { (void)tm.SetForeground(kInvalidObjectId); });
+  sim.ScheduleAfter(Duration::Seconds(30), [&] { (void)tm.SetForeground(proc_b.thread); });
+  sim.ScheduleAfter(Duration::Seconds(40), [&] { (void)tm.SetForeground(kInvalidObjectId); });
+
+  sim.Run(horizon);
+
+  out.a_foreground_mw = WindowMeanMw(out.power_a, 12.0, 20.0);
+  // Skip the demotion boundary sample and the ~1 s spend-down of the slot
+  // slack A accrued while sharing quanta with B.
+  out.a_after_demotion_mw = WindowMeanMw(out.power_a, 23.0, 28.0);
+  out.b_after_demotion_mw = WindowMeanMw(out.power_b, 40.0, 50.0);
+  out.background_pair_mw =
+      WindowMeanMw(out.power_a, 2.0, 10.0) + WindowMeanMw(out.power_b, 2.0, 10.0);
+  return out;
+}
+
+CooperationResult RunCooperationScenario(const CooperationConfig& config) {
+  SimConfig sim_cfg;
+  sim_cfg.seed = config.seed;
+  Simulator sim(sim_cfg);
+  NetdService netd(&sim, config.mode);
+
+  const bool limited = config.mode != NetdMode::kUnrestricted;
+  PollerApp::Config rss_cfg;
+  rss_cfg.name = "rss";
+  rss_cfg.poll_interval = config.poll_interval;
+  rss_cfg.start_delay = config.rss_start;
+  rss_cfg.payload_bytes = config.payload_bytes;
+  rss_cfg.tap_rate = config.poller_tap;
+  rss_cfg.energy_limited = limited;
+  PollerApp rss(&sim, &netd, rss_cfg);
+
+  PollerApp::Config mail_cfg = rss_cfg;
+  mail_cfg.name = "mail";
+  mail_cfg.start_delay = config.mail_start;
+  PollerApp mail(&sim, &netd, mail_cfg);
+
+  CooperationResult out;
+  out.netd_reserve_j.set_name("netd_reserve_J");
+  // Sample the netd pooling reserve each second (Figure 14).
+  std::function<void()> sample = [&] {
+    Reserve* pool = netd.pool_reserve();
+    out.netd_reserve_j.Append(sim.now(), pool == nullptr ? 0.0 : pool->energy().joules_f());
+    sim.ScheduleAfter(Duration::Seconds(1), sample);
+  };
+  sim.ScheduleAfter(Duration::Seconds(1), sample);
+
+  sim.Run(config.horizon);
+
+  out.true_power_w = sim.probe().trace();
+  out.total_time_s = config.horizon.seconds_f();
+  out.total_energy_j = sim.total_true_energy().joules_f();
+  out.active_time_s = sim.radio_active_time().seconds_f();
+  // radio_active_energy already integrates FULL system power (baseline
+  // included) over the radio-awake intervals — the paper's "Active Energy".
+  out.active_energy_j = sim.radio_active_energy().joules_f();
+  out.activations = sim.radio().activation_count();
+  out.rss_polls = rss.polls_completed();
+  out.mail_polls = mail.polls_completed();
+  return out;
+}
+
+double MeasureFlowEnergyJoules(int packets_per_second, int bytes_per_packet,
+                               Duration flow_length, uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.decay_enabled = false;
+  Simulator sim(cfg);
+
+  // Drive packets straight onto the data path at the requested rate; measure
+  // total true energy above baseline until the radio sleeps again.
+  const Duration gap = Duration::Micros(1000000 / packets_per_second);
+  std::function<void()> send = [&] {
+    if (sim.now() < SimTime::Zero() + flow_length) {
+      sim.RadioTransmit(bytes_per_packet);
+      sim.ScheduleAfter(gap, send);
+    }
+  };
+  sim.ScheduleAfter(Duration::Millis(1), send);
+
+  const Duration horizon = flow_length + Duration::Seconds(35);
+  sim.Run(horizon);
+  const double baseline_j = cfg.model.idle_baseline.watts_f() * horizon.seconds_f();
+  return sim.total_true_energy().joules_f() - baseline_j;
+}
+
+ActivationTraceResult RunActivationTrace(Duration horizon, uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.decay_enabled = false;
+  Simulator sim(cfg);
+
+  ActivationTraceResult out;
+  std::vector<double> marks;  // True energy at each packet send.
+  std::function<void()> send = [&] {
+    marks.push_back(sim.total_true_energy().joules_f() -
+                    cfg.model.idle_baseline.watts_f() * sim.now().seconds_f());
+    sim.RadioTransmit(1);
+    sim.ScheduleAfter(Duration::Seconds(40), send);
+  };
+  sim.ScheduleAfter(Duration::Seconds(5), send);
+
+  sim.Run(horizon);
+  out.true_power_w = sim.probe().trace();
+  // Per-episode overhead: difference of above-baseline energy between
+  // consecutive sends (each episode has fully drained by the next send).
+  for (size_t i = 1; i < marks.size(); ++i) {
+    out.episode_joules.push_back(marks[i] - marks[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace cinder

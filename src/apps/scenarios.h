@@ -1,0 +1,101 @@
+// Reusable experiment scenarios: each function sets up one of the paper's
+// evaluation workloads on a fresh Simulator and returns the measured traces.
+// Benches print them as figures/tables; integration tests assert on their
+// shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/time_series.h"
+#include "src/base/units.h"
+#include "src/net/netd.h"
+
+namespace cinder {
+
+// -- Figure 9: isolation under forking -----------------------------------------
+//
+// A and B each get a 68 mW tap (an even subdivision of the 137 mW CPU). B
+// forks B1 at ~5 s and B2 at ~10 s, feeding each from B's OWN reserve with
+// quarter-rate taps — so A is isolated from the forks and B is isolated from
+// its own children.
+struct IsolationResult {
+  // Estimated power (mW) per process, sampled every second.
+  TimeSeries power_a;
+  TimeSeries power_b;
+  TimeSeries power_b1;
+  TimeSeries power_b2;
+  // Mean estimated power over the final 30 s (steady state), mW.
+  double steady_a_mw = 0.0;
+  double steady_b_mw = 0.0;
+  double steady_b1_mw = 0.0;
+  double steady_b2_mw = 0.0;
+  // Measured true CPU power (probe minus baseline), mW, averaged.
+  double measured_cpu_mw = 0.0;
+};
+IsolationResult RunIsolationScenario(Duration horizon = Duration::Seconds(60),
+                                     uint64_t seed = 42);
+
+// -- Figure 12: background/foreground task management ---------------------------
+//
+// Two spinners in the background (14 mW shared). The task manager promotes A
+// to the foreground for [10 s, 20 s) and B for [30 s, 40 s). With
+// foreground_rate == 137 mW there is nothing to hoard; with 300 mW the
+// foreground app accumulates surplus and keeps running hot after demotion.
+struct BackgroundResult {
+  TimeSeries power_a;  // Estimated CPU power per second, mW.
+  TimeSeries power_b;
+  double a_foreground_mw = 0.0;       // Mean while A is foreground.
+  double a_after_demotion_mw = 0.0;   // Mean in [20 s, 25 s).
+  double b_after_demotion_mw = 0.0;   // Mean in [40 s, 50 s).
+  double background_pair_mw = 0.0;    // Mean combined power before 10 s.
+};
+BackgroundResult RunBackgroundScenario(Power foreground_rate,
+                                       Duration horizon = Duration::Seconds(60),
+                                       uint64_t seed = 42);
+
+// -- Figures 13/14 and Table 1: cooperative network stack -------------------------
+struct CooperationConfig {
+  NetdMode mode = NetdMode::kCooperative;
+  Duration horizon = Duration::Seconds(1201);
+  Duration poll_interval = Duration::Seconds(60);
+  // In the uncooperative baseline the pollers are unrestricted and staggered;
+  // measured drift in the paper's run spread the episodes apart, which a 30 s
+  // offset reproduces.
+  Duration rss_start = Duration::Zero();
+  Duration mail_start = Duration::Seconds(15);
+  int64_t payload_bytes = 10 * 1024;
+  Power poller_tap = Power::Milliwatts(79);
+  uint64_t seed = 42;
+};
+struct CooperationResult {
+  TimeSeries true_power_w;     // The Figure 13 trace (Agilent-style, 200 ms).
+  TimeSeries netd_reserve_j;   // The Figure 14 trace (1 s cadence).
+  double total_time_s = 0.0;   // Table 1 rows.
+  double total_energy_j = 0.0;
+  double active_time_s = 0.0;
+  double active_energy_j = 0.0;
+  int64_t activations = 0;
+  int64_t rss_polls = 0;
+  int64_t mail_polls = 0;
+};
+CooperationResult RunCooperationScenario(const CooperationConfig& config);
+
+// -- Figure 3: radio flow energy ---------------------------------------------------
+// Energy (J, above idle baseline) of a 10 s packet flow at the given rate and
+// packet size, including the post-flow activation tail.
+double MeasureFlowEnergyJoules(int packets_per_second, int bytes_per_packet,
+                               Duration flow_length = Duration::Seconds(10),
+                               uint64_t seed = 42);
+
+// -- Figure 4: radio activation power trace ------------------------------------------
+// One 1-byte packet roughly every 40 s for `horizon`; returns the true power
+// trace (W, 200 ms samples) and the per-episode overhead energies (J).
+struct ActivationTraceResult {
+  TimeSeries true_power_w;
+  std::vector<double> episode_joules;
+};
+ActivationTraceResult RunActivationTrace(Duration horizon = Duration::Seconds(400),
+                                         uint64_t seed = 42);
+
+}  // namespace cinder

@@ -1,0 +1,90 @@
+#include "src/apps/task_manager.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+TaskManager::TaskManager(Simulator* sim, Config config) : sim_(sim), config_(config) {
+  Kernel& k = sim_->kernel();
+  proc_ = sim_->CreateProcess("taskmgr");
+  manager_thread_ = proc_.thread;
+  Thread* mgr = k.LookupTyped<Thread>(manager_thread_);
+
+  // The control category: taps labeled {cat=0} can only be modified by a
+  // thread that owns the category (integrity protection).
+  control_category_ = k.categories().Allocate();
+  mgr->GrantPrivilege(control_category_);
+  // The manager itself draws from the battery (it is a trusted system task).
+  mgr->set_active_reserve(sim_->battery_reserve_id());
+
+  // Foreground and background pool reserves, fed from the battery.
+  Result<ObjectId> fg = ReserveCreate(k, *mgr, proc_.container, Label(Level::k1), "taskmgr/fg");
+  Result<ObjectId> bg = ReserveCreate(k, *mgr, proc_.container, Label(Level::k1), "taskmgr/bg");
+  fg_reserve_ = fg.value();
+  bg_reserve_ = bg.value();
+
+  Result<ObjectId> fg_feed = TapCreate(k, sim_->taps(), *mgr, proc_.container,
+                                       sim_->battery_reserve_id(), fg_reserve_, Label(Level::k1),
+                                       "taskmgr/fg_feed");
+  (void)TapSetConstantPower(k, *mgr, fg_feed.value(), config_.foreground_rate);
+  Result<ObjectId> bg_feed = TapCreate(k, sim_->taps(), *mgr, proc_.container,
+                                       sim_->battery_reserve_id(), bg_reserve_, Label(Level::k1),
+                                       "taskmgr/bg_feed");
+  (void)TapSetConstantPower(k, *mgr, bg_feed.value(), config_.background_rate);
+}
+
+const TaskManager::App& TaskManager::RegisterApp(const Simulator::Process& proc,
+                                                 const std::string& name) {
+  Kernel& k = sim_->kernel();
+  Thread* mgr = manager_thread();
+
+  App app;
+  app.thread = proc.thread;
+  Result<ObjectId> res =
+      ReserveCreate(k, *mgr, proc.container, Label(Level::k1), name + "/reserve");
+  app.reserve = res.value();
+
+  // Taps carry the control category at level 0 so that only the manager may
+  // retune them ("the task manager ... is the only thread privileged to
+  // modify the parameters on the tap", section 5.4).
+  Label tap_label(Level::k1);
+  tap_label.Set(control_category_, Level::k0);
+
+  Result<ObjectId> fg_tap = TapCreate(k, sim_->taps(), *mgr, proc.container, fg_reserve_,
+                                      app.reserve, tap_label, name + "/fg_tap");
+  app.fg_tap = fg_tap.value();
+  (void)TapSetConstantPower(k, *mgr, app.fg_tap, Power::Zero());
+
+  Result<ObjectId> bg_tap = TapCreate(k, sim_->taps(), *mgr, proc.container, bg_reserve_,
+                                      app.reserve, tap_label, name + "/bg_tap");
+  app.bg_tap = bg_tap.value();
+  (void)TapSetConstantPower(k, *mgr, app.bg_tap, config_.background_rate);
+
+  Thread* t = k.LookupTyped<Thread>(proc.thread);
+  t->set_active_reserve(app.reserve);
+
+  auto [it, inserted] = apps_.insert_or_assign(proc.thread, app);
+  (void)inserted;
+  return it->second;
+}
+
+Status TaskManager::SetForeground(ObjectId thread) {
+  Kernel& k = sim_->kernel();
+  Thread* mgr = manager_thread();
+  if (thread != kInvalidObjectId && apps_.find(thread) == apps_.end()) {
+    return Status::kErrNotFound;
+  }
+  for (auto& [tid, app] : apps_) {
+    const Power rate = tid == thread ? config_.foreground_rate : Power::Zero();
+    CINDER_RETURN_IF_ERROR(TapSetConstantPower(k, *mgr, app.fg_tap, rate));
+  }
+  foreground_ = thread;
+  return Status::kOk;
+}
+
+const TaskManager::App* TaskManager::Find(ObjectId thread) const {
+  auto it = apps_.find(thread);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cinder

@@ -1,0 +1,65 @@
+// The task manager (paper section 5.4, Figure 7).
+//
+// System power is subdivided into a foreground reserve (fed by a high-rate
+// tap from the battery) and a background reserve (fed by a low-rate tap).
+// Each application's reserve connects to BOTH via per-app taps: the
+// background tap always flows, while the foreground tap is 0 except for the
+// application the user is interacting with. Only the task manager holds the
+// privilege (a HiStar category at integrity level 0) to retune the taps, so
+// applications cannot promote themselves.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+class TaskManager {
+ public:
+  struct Config {
+    // Rate delivered to the foreground application (137 mW fully utilizes
+    // the Dream's CPU; Figure 12b uses 300 mW to show hoarding).
+    Power foreground_rate = Power::Milliwatts(137);
+    // Total background budget shared by all background applications.
+    Power background_rate = Power::Milliwatts(14);
+  };
+
+  TaskManager(Simulator* sim, Config config);
+
+  struct App {
+    ObjectId thread = kInvalidObjectId;
+    ObjectId reserve = kInvalidObjectId;
+    ObjectId fg_tap = kInvalidObjectId;
+    ObjectId bg_tap = kInvalidObjectId;
+  };
+
+  // Registers a process: creates its reserve and its two taps, and switches
+  // the process's main thread onto the reserve.
+  const App& RegisterApp(const Simulator::Process& proc, const std::string& name);
+
+  // Moves `thread` to the foreground (its fg tap gets foreground_rate; every
+  // other app's fg tap drops to 0). kInvalidObjectId demotes everyone.
+  Status SetForeground(ObjectId thread);
+  ObjectId foreground() const { return foreground_; }
+
+  const App* Find(ObjectId thread) const;
+  ObjectId foreground_reserve() const { return fg_reserve_; }
+  ObjectId background_reserve() const { return bg_reserve_; }
+  Thread* manager_thread() { return sim_->kernel().LookupTyped<Thread>(manager_thread_); }
+
+ private:
+  Simulator* sim_;
+  Config config_;
+  Simulator::Process proc_;
+  ObjectId manager_thread_ = kInvalidObjectId;
+  Category control_category_ = 0;
+  ObjectId fg_reserve_ = kInvalidObjectId;
+  ObjectId bg_reserve_ = kInvalidObjectId;
+  ObjectId foreground_ = kInvalidObjectId;
+  std::map<ObjectId, App> apps_;  // keyed by thread id
+};
+
+}  // namespace cinder

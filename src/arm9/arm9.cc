@@ -1,0 +1,128 @@
+#include "src/arm9/arm9.h"
+
+namespace cinder {
+
+namespace {
+// An SMS fits one SMS-SUBMIT PDU: ~140 payload bytes plus control overhead on
+// the signalling channel.
+constexpr int64_t kSmsBytes = 176;
+}  // namespace
+
+Arm9Coprocessor::Arm9Coprocessor(Simulator* sim, SmdChannel* channel) : sim_(sim) {
+  channel->set_arm9_handler([this](const SmdMessage& msg) { return Handle(msg); });
+  // The GPS engine contributes true draw while on.
+  sim_->RegisterPowerSource([this] { return gps_power(); });
+}
+
+SmdMessage Arm9Coprocessor::MakeReply(const SmdMessage& req, Status s) {
+  SmdMessage reply;
+  reply.port = req.port;
+  reply.opcode = req.opcode;
+  reply.args.push_back(static_cast<int64_t>(s));
+  return reply;
+}
+
+SmdMessage Arm9Coprocessor::Handle(const SmdMessage& msg) {
+  switch (msg.port) {
+    case SmdPort::kRadioControl:
+      return HandleRadioControl(msg);
+    case SmdPort::kRadioData:
+      return HandleRadioData(msg);
+    case SmdPort::kBattery:
+      return HandleBattery(msg);
+    case SmdPort::kGps:
+      return HandleGps(msg);
+  }
+  return MakeReply(msg, Status::kErrInvalidArg);
+}
+
+SmdMessage Arm9Coprocessor::HandleRadioControl(const SmdMessage& msg) {
+  switch (msg.opcode) {
+    case kArm9OpDial: {
+      if (call_active_) {
+        return MakeReply(msg, Status::kErrBadState);
+      }
+      // Call setup rides the signalling channel: it wakes the radio exactly
+      // like data does.
+      sim_->RadioTransmit(64);
+      call_active_ = true;
+      return MakeReply(msg, Status::kOk);
+    }
+    case kArm9OpHangup: {
+      if (!call_active_) {
+        return MakeReply(msg, Status::kErrBadState);
+      }
+      sim_->RadioTransmit(32);
+      call_active_ = false;
+      return MakeReply(msg, Status::kOk);
+    }
+    case kArm9OpSendSms: {
+      if (msg.payload.empty() || msg.payload.size() > 160) {
+        return MakeReply(msg, Status::kErrInvalidArg);
+      }
+      sim_->RadioTransmit(kSmsBytes);
+      ++sms_sent_;
+      return MakeReply(msg, Status::kOk);
+    }
+    case kArm9OpSignalQuery: {
+      SmdMessage reply = MakeReply(msg, Status::kOk);
+      // A canned signal-strength value; the closed firmware reveals no more.
+      reply.args.push_back(21);
+      return reply;
+    }
+    default:
+      return MakeReply(msg, Status::kErrInvalidArg);
+  }
+}
+
+SmdMessage Arm9Coprocessor::HandleRadioData(const SmdMessage& msg) {
+  if (msg.opcode != kArm9OpDataTx || msg.args.size() != 2 || msg.args[1] < 0) {
+    return MakeReply(msg, Status::kErrInvalidArg);
+  }
+  // args: {unused_flow_id, bytes}. The ARM9 moves the bytes; the ARM11 cannot
+  // see or change the power policy this triggers.
+  sim_->RadioTransmit(msg.args[1]);
+  ++data_packets_;
+  return MakeReply(msg, Status::kOk);
+}
+
+SmdMessage Arm9Coprocessor::HandleBattery(const SmdMessage& msg) {
+  if (msg.opcode != kArm9OpBatteryLevel) {
+    return MakeReply(msg, Status::kErrInvalidArg);
+  }
+  SmdMessage reply = MakeReply(msg, Status::kOk);
+  // The only battery telemetry the ARM9 exposes: an integer 0..100.
+  reply.args.push_back(sim_->battery().LevelPercent());
+  return reply;
+}
+
+SmdMessage Arm9Coprocessor::HandleGps(const SmdMessage& msg) {
+  switch (msg.opcode) {
+    case kArm9OpGpsStart:
+      if (!gps_on_) {
+        gps_on_ = true;
+        gps_on_since_ = sim_->now();
+      }
+      return MakeReply(msg, Status::kOk);
+    case kArm9OpGpsStop:
+      gps_on_ = false;
+      return MakeReply(msg, Status::kOk);
+    case kArm9OpGpsFix: {
+      if (!gps_has_fix()) {
+        return MakeReply(msg, Status::kErrWouldBlock);  // Still acquiring.
+      }
+      SmdMessage reply = MakeReply(msg, Status::kOk);
+      reply.args.push_back(374220000);  // Fixed-point lat/lon (Stanford).
+      reply.args.push_back(-1220840000);
+      return reply;
+    }
+    default:
+      return MakeReply(msg, Status::kErrInvalidArg);
+  }
+}
+
+bool Arm9Coprocessor::gps_has_fix() const {
+  return gps_on_ && sim_->now() - gps_on_since_ >= gps_cold_fix_;
+}
+
+}  // namespace cinder

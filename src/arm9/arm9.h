@@ -1,0 +1,73 @@
+// The secure ARM9 coprocessor (paper section 4.1, Figure 15).
+//
+// The ARM9 owns the energy-hungry, closed hardware: the GSM radio, GPS, and
+// the battery sensor. Cinder (on the ARM11) can only talk to it through SMD
+// messages; it cannot change its policies — notably the radio's 20 s
+// inactivity timeout — and it only ever sees the battery as an integer
+// percentage. This model enforces those boundaries: the simulator's
+// RadioDevice and Battery are reachable exclusively through this class's
+// message handler.
+#pragma once
+
+#include <string>
+
+#include "src/arm9/smd.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+// Radio-control opcodes (SmdPort::kRadioControl).
+inline constexpr uint32_t kArm9OpDial = 1;
+inline constexpr uint32_t kArm9OpHangup = 2;
+inline constexpr uint32_t kArm9OpSendSms = 3;
+inline constexpr uint32_t kArm9OpSignalQuery = 4;
+// Radio-data opcodes (SmdPort::kRadioData).
+inline constexpr uint32_t kArm9OpDataTx = 10;
+// Battery opcodes (SmdPort::kBattery).
+inline constexpr uint32_t kArm9OpBatteryLevel = 20;
+// GPS opcodes (SmdPort::kGps).
+inline constexpr uint32_t kArm9OpGpsStart = 30;
+inline constexpr uint32_t kArm9OpGpsStop = 31;
+inline constexpr uint32_t kArm9OpGpsFix = 32;
+
+// Reply arg[0] is a Status as int; further args are op-specific.
+class Arm9Coprocessor {
+ public:
+  // Attaches to the simulator's devices and installs itself as the channel's
+  // ARM9-side handler.
+  Arm9Coprocessor(Simulator* sim, SmdChannel* channel);
+
+  // -- Radio state (control plane) ---------------------------------------------
+  bool call_active() const { return call_active_; }
+  int64_t sms_sent() const { return sms_sent_; }
+  int64_t data_packets() const { return data_packets_; }
+
+  // -- GPS ----------------------------------------------------------------------
+  // The position engine: drawing ~143 mW while on; a cold fix takes ~30 s of
+  // continuous power before positions become available (a nonlinear profile
+  // like the radio's, which is why the paper calls GPS out in section 5.5).
+  bool gps_on() const { return gps_on_; }
+  bool gps_has_fix() const;
+  Power gps_power() const { return gps_on_ ? gps_draw_ : Power::Zero(); }
+  Duration gps_cold_fix_time() const { return gps_cold_fix_; }
+
+ private:
+  SmdMessage Handle(const SmdMessage& msg);
+  SmdMessage HandleRadioControl(const SmdMessage& msg);
+  SmdMessage HandleRadioData(const SmdMessage& msg);
+  SmdMessage HandleBattery(const SmdMessage& msg);
+  SmdMessage HandleGps(const SmdMessage& msg);
+
+  static SmdMessage MakeReply(const SmdMessage& req, Status s);
+
+  Simulator* sim_;
+  bool call_active_ = false;
+  int64_t sms_sent_ = 0;
+  int64_t data_packets_ = 0;
+  bool gps_on_ = false;
+  SimTime gps_on_since_;
+  Power gps_draw_ = Power::Milliwatts(143);
+  Duration gps_cold_fix_ = Duration::Seconds(30);
+};
+
+}  // namespace cinder

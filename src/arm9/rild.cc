@@ -1,0 +1,216 @@
+#include "src/arm9/rild.h"
+
+namespace cinder {
+
+RildService::RildService(Simulator* sim, SmddService* smdd) : sim_(sim), smdd_(smdd) {
+  Kernel& k = sim_->kernel();
+  proc_ = sim_->CreateProcess("rild");
+  Gate* gate =
+      k.Create<Gate>(proc_.container, Label(Level::k1), "rild/gate", proc_.address_space);
+  gate->set_handler(
+      [this](Thread& caller, const GateMessage& msg) { return HandleGate(caller, msg); });
+  gate_ = gate->id();
+}
+
+void RildService::SetSmsQuota(ObjectId thread, ObjectId sms_reserve) {
+  sms_quota_[thread] = sms_reserve;
+}
+
+Energy RildService::SmsCostEstimate() const {
+  const PowerModel& m = sim_->config().model;
+  Energy data = m.radio_energy_per_byte * 176 + m.radio_energy_per_packet;
+  if (!sim_->radio().IsAwake()) {
+    return m.NominalActivationOverhead() + data;
+  }
+  Duration gap = sim_->now() - sim_->radio().last_activity();
+  if (gap < Duration::Zero()) {
+    gap = Duration::Zero();
+  }
+  return m.radio_active * gap + data;
+}
+
+Power RildService::GpsBillingRate() const { return smdd_->arm9().gps_power().IsZero()
+                                                       ? Power::Milliwatts(143)
+                                                       : smdd_->arm9().gps_power(); }
+
+Status RildService::BillEnergy(Thread& caller, Energy cost, bool allow_debt) {
+  Kernel& k = sim_->kernel();
+  Quantity remaining = ToQuantity(cost);
+  Quantity available = 0;
+  for (ObjectId rid : caller.attached_reserves()) {
+    const Reserve* r = k.LookupTyped<Reserve>(rid);
+    if (r != nullptr && r->level() > 0) {
+      available += r->level();
+    }
+  }
+  if (available < remaining && !allow_debt) {
+    return Status::kErrNoResource;
+  }
+  for (ObjectId rid : caller.attached_reserves()) {
+    Reserve* r = k.LookupTyped<Reserve>(rid);
+    if (r == nullptr) {
+      continue;
+    }
+    remaining -= r->ConsumeUpTo(remaining);
+    if (remaining == 0) {
+      break;
+    }
+  }
+  if (remaining > 0) {
+    Reserve* r = k.LookupTyped<Reserve>(caller.active_reserve());
+    if (r == nullptr) {
+      return Status::kErrNoResource;
+    }
+    const bool saved = r->allow_debt();
+    r->set_allow_debt(true);
+    (void)r->Consume(remaining);
+    r->set_allow_debt(saved);
+  }
+  sim_->meter().Record(Component::kRadio, caller.id(), cost);
+  return Status::kOk;
+}
+
+GateReply RildService::HandleGate(Thread& caller, const GateMessage& msg) {
+  GateReply reply;
+  switch (msg.opcode) {
+    case kRildOpDial: {
+      Status billed = BillEnergy(caller, SmsCostEstimate());  // Signalling cost ~ SMS.
+      if (billed != Status::kOk) {
+        reply.status = billed;
+        return reply;
+      }
+      auto r = smdd_->CallArm9(caller, SmdPort::kRadioControl, kArm9OpDial);
+      reply.status = r.status;
+      return reply;
+    }
+    case kRildOpHangup: {
+      auto r = smdd_->CallArm9(caller, SmdPort::kRadioControl, kArm9OpHangup);
+      reply.status = r.status;
+      return reply;
+    }
+    case kRildOpSendSms: {
+      // Quota first (a message right), then energy, then hardware.
+      auto quota_it = sms_quota_.find(caller.id());
+      Reserve* quota = quota_it == sms_quota_.end()
+                           ? nullptr
+                           : sim_->kernel().LookupTyped<Reserve>(quota_it->second);
+      if (quota == nullptr || quota->kind() != ResourceKind::kSms) {
+        ++sms_rejected_quota_;
+        reply.status = Status::kErrPermission;
+        return reply;
+      }
+      if (quota->Consume(1) != Status::kOk) {
+        ++sms_rejected_quota_;
+        reply.status = Status::kErrNoResource;
+        return reply;
+      }
+      Status billed = BillEnergy(caller, SmsCostEstimate());
+      if (billed != Status::kOk) {
+        quota->Deposit(1);  // Undo the quota debit; nothing was sent.
+        ++sms_rejected_energy_;
+        reply.status = billed;
+        return reply;
+      }
+      auto r = smdd_->CallArm9(caller, SmdPort::kRadioControl, kArm9OpSendSms, {},
+                               msg.payload);
+      reply.status = r.status;
+      return reply;
+    }
+    case kRildOpBatteryLevel: {
+      auto r = smdd_->CallArm9(caller, SmdPort::kBattery, kArm9OpBatteryLevel);
+      reply.status = r.status;
+      reply.rets = r.args;
+      return reply;
+    }
+    case kRildOpGpsStart: {
+      auto r = smdd_->CallArm9(caller, SmdPort::kGps, kArm9OpGpsStart);
+      if (r.status == Status::kOk) {
+        gps_sessions_[caller.id()] = sim_->now();
+      }
+      reply.status = r.status;
+      return reply;
+    }
+    case kRildOpGpsStop: {
+      auto it = gps_sessions_.find(caller.id());
+      if (it != gps_sessions_.end()) {
+        // Bill the session's draw on close — after-the-fact, like received
+        // packets, so the reserve may dip into debt (section 5.5.2).
+        const Duration session = sim_->now() - it->second;
+        (void)BillEnergy(caller, GpsBillingRate() * session, /*allow_debt=*/true);
+        gps_sessions_.erase(it);
+      }
+      auto r = smdd_->CallArm9(caller, SmdPort::kGps, kArm9OpGpsStop);
+      reply.status = r.status;
+      return reply;
+    }
+    case kRildOpGpsFix: {
+      auto r = smdd_->CallArm9(caller, SmdPort::kGps, kArm9OpGpsFix);
+      reply.status = r.status;
+      reply.rets = r.args;
+      return reply;
+    }
+    default:
+      reply.status = Status::kErrInvalidArg;
+      return reply;
+  }
+}
+
+Status RildService::Dial(Thread& caller, const std::string& number) {
+  GateMessage msg;
+  msg.opcode = kRildOpDial;
+  msg.payload.assign(number.begin(), number.end());
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status RildService::Hangup(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kRildOpHangup;
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status RildService::SendSms(Thread& caller, const std::string& text) {
+  GateMessage msg;
+  msg.opcode = kRildOpSendSms;
+  msg.payload.assign(text.begin(), text.end());
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Result<int> RildService::BatteryLevel(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kRildOpBatteryLevel;
+  GateReply r = sim_->kernel().GateCall(caller, gate_, msg);
+  if (r.status != Status::kOk) {
+    return r.status;
+  }
+  if (r.rets.empty()) {
+    return Status::kErrBadState;
+  }
+  return static_cast<int>(r.rets[0]);
+}
+
+Status RildService::GpsStart(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kRildOpGpsStart;
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status RildService::GpsStop(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kRildOpGpsStop;
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Result<std::pair<int64_t, int64_t>> RildService::GpsFix(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kRildOpGpsFix;
+  GateReply r = sim_->kernel().GateCall(caller, gate_, msg);
+  if (r.status != Status::kOk) {
+    return r.status;
+  }
+  if (r.rets.size() < 2) {
+    return Status::kErrBadState;
+  }
+  return std::make_pair(r.rets[0], r.rets[1]);
+}
+
+}  // namespace cinder

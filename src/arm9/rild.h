@@ -1,0 +1,75 @@
+// rild: the radio interface library daemon (paper section 7, Figure 16).
+//
+// Sits between applications and smdd, exporting telephony as gate calls:
+// dial/hangup (voice calls connect but are silent — the paper's port lacked
+// an audio library), SMS with reserve-backed quota enforcement (the section 9
+// extension), and a GPS session API with energy billing for the position
+// engine's draw.
+//
+// Every operation estimates its energy cost and bills the calling thread's
+// reserves before touching the hardware; the gate chain (app -> rild -> smdd
+// -> ARM9) keeps the attribution on the app throughout.
+#pragma once
+
+#include "src/arm9/smdd.h"
+#include "src/core/reserve.h"
+
+namespace cinder {
+
+inline constexpr uint64_t kRildOpDial = 1;
+inline constexpr uint64_t kRildOpHangup = 2;
+inline constexpr uint64_t kRildOpSendSms = 3;
+inline constexpr uint64_t kRildOpBatteryLevel = 4;
+inline constexpr uint64_t kRildOpGpsStart = 5;
+inline constexpr uint64_t kRildOpGpsStop = 6;
+inline constexpr uint64_t kRildOpGpsFix = 7;
+
+class RildService {
+ public:
+  RildService(Simulator* sim, SmddService* smdd);
+
+  ObjectId gate_id() const { return gate_; }
+
+  // Associates an SMS-quota reserve (ResourceKind::kSms) with a thread; SMS
+  // sends debit one message from it ("reserves could also be used to enforce
+  // SMS text message quotas", section 9). Without a registration SMS is
+  // refused — default-deny for billable actions.
+  void SetSmsQuota(ObjectId thread, ObjectId sms_reserve);
+
+  // Convenience wrappers (each performs the gate call on `caller`).
+  Status Dial(Thread& caller, const std::string& number);
+  Status Hangup(Thread& caller);
+  Status SendSms(Thread& caller, const std::string& text);
+  Result<int> BatteryLevel(Thread& caller);
+  Status GpsStart(Thread& caller);
+  Status GpsStop(Thread& caller);
+  // Returns kErrWouldBlock until the cold fix completes (~30 s of GPS-on).
+  Result<std::pair<int64_t, int64_t>> GpsFix(Thread& caller);
+
+  int64_t sms_rejected_quota() const { return sms_rejected_quota_; }
+  int64_t sms_rejected_energy() const { return sms_rejected_energy_; }
+
+  // Kernel-model estimate of one SMS (radio episode extension + bytes).
+  Energy SmsCostEstimate() const;
+  // GPS session billing rate (the position engine's modeled draw).
+  Power GpsBillingRate() const;
+
+ private:
+  GateReply HandleGate(Thread& caller, const GateMessage& msg);
+  // When `allow_debt` is set the balance is forced onto the active reserve
+  // even past zero — used for after-the-fact costs (a finished GPS session),
+  // mirroring netd's treatment of received packets (section 5.5.2).
+  Status BillEnergy(Thread& caller, Energy cost, bool allow_debt = false);
+
+  Simulator* sim_;
+  SmddService* smdd_;
+  Simulator::Process proc_;
+  ObjectId gate_ = kInvalidObjectId;
+  std::map<ObjectId, ObjectId> sms_quota_;  // thread -> sms reserve
+  // Active GPS sessions: thread -> session start (for billing on stop).
+  std::map<ObjectId, SimTime> gps_sessions_;
+  int64_t sms_rejected_quota_ = 0;
+  int64_t sms_rejected_energy_ = 0;
+};
+
+}  // namespace cinder

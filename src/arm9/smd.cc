@@ -1,0 +1,176 @@
+#include "src/arm9/smd.h"
+
+#include <cstring>
+
+namespace cinder {
+
+namespace {
+constexpr uint32_t kMagic = 0x534d4421;  // "SMD!"
+constexpr size_t kHeaderBytes = 8;       // head (u32) + tail (u32).
+constexpr size_t kFrameFixed = 5 * 4;    // magic, port, opcode, n_args, payload_len.
+}  // namespace
+
+SmdRing::SmdRing(Kernel* kernel, ObjectId segment) : kernel_(kernel), segment_(segment) {}
+
+size_t SmdRing::capacity() const {
+  const Segment* seg = kernel_->LookupTyped<Segment>(segment_);
+  return seg == nullptr || seg->size() <= kHeaderBytes ? 0 : seg->size() - kHeaderBytes;
+}
+
+uint32_t SmdRing::ReadWord(size_t offset) const {
+  const Segment* seg = kernel_->LookupTyped<Segment>(segment_);
+  uint8_t buf[4] = {0, 0, 0, 0};
+  if (seg != nullptr) {
+    (void)seg->Read(offset, buf, 4);
+  }
+  return static_cast<uint32_t>(buf[0]) | static_cast<uint32_t>(buf[1]) << 8 |
+         static_cast<uint32_t>(buf[2]) << 16 | static_cast<uint32_t>(buf[3]) << 24;
+}
+
+void SmdRing::WriteWord(size_t offset, uint32_t v) {
+  Segment* seg = kernel_->LookupTyped<Segment>(segment_);
+  if (seg == nullptr) {
+    return;
+  }
+  uint8_t buf[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                    static_cast<uint8_t>(v >> 16), static_cast<uint8_t>(v >> 24)};
+  (void)seg->Write(offset, buf, 4);
+}
+
+size_t SmdRing::BytesUsed() const {
+  const uint32_t head = ReadWord(0);
+  const uint32_t tail = ReadWord(4);
+  const size_t cap = capacity();
+  if (cap == 0) {
+    return 0;
+  }
+  return (tail + cap - head) % cap;
+}
+
+void SmdRing::CopyIn(size_t ring_offset, const uint8_t* data, size_t len) {
+  Segment* seg = kernel_->LookupTyped<Segment>(segment_);
+  const size_t cap = capacity();
+  for (size_t i = 0; i < len; ++i) {
+    const size_t pos = kHeaderBytes + (ring_offset + i) % cap;
+    (void)seg->Write(pos, data + i, 1);
+  }
+}
+
+void SmdRing::CopyOut(size_t ring_offset, uint8_t* out, size_t len) const {
+  const Segment* seg = kernel_->LookupTyped<Segment>(segment_);
+  const size_t cap = capacity();
+  for (size_t i = 0; i < len; ++i) {
+    const size_t pos = kHeaderBytes + (ring_offset + i) % cap;
+    (void)seg->Read(pos, out + i, 1);
+  }
+}
+
+Status SmdRing::Push(const SmdMessage& msg) {
+  const size_t cap = capacity();
+  if (cap == 0) {
+    return Status::kErrBadState;
+  }
+  const size_t frame = kFrameFixed + msg.args.size() * 8 + msg.payload.size();
+  // Leave one byte free so head==tail unambiguously means empty.
+  if (frame >= cap - BytesUsed()) {
+    return Status::kErrExhausted;
+  }
+  std::vector<uint8_t> buf(frame);
+  auto put32 = [&](size_t at, uint32_t v) {
+    buf[at] = static_cast<uint8_t>(v);
+    buf[at + 1] = static_cast<uint8_t>(v >> 8);
+    buf[at + 2] = static_cast<uint8_t>(v >> 16);
+    buf[at + 3] = static_cast<uint8_t>(v >> 24);
+  };
+  put32(0, kMagic);
+  put32(4, static_cast<uint32_t>(msg.port));
+  put32(8, msg.opcode);
+  put32(12, static_cast<uint32_t>(msg.args.size()));
+  put32(16, static_cast<uint32_t>(msg.payload.size()));
+  size_t at = kFrameFixed;
+  for (int64_t a : msg.args) {
+    auto u = static_cast<uint64_t>(a);
+    for (int b = 0; b < 8; ++b) {
+      buf[at++] = static_cast<uint8_t>(u >> (8 * b));
+    }
+  }
+  if (!msg.payload.empty()) {
+    std::memcpy(buf.data() + at, msg.payload.data(), msg.payload.size());
+  }
+  const uint32_t tail = ReadWord(4);
+  CopyIn(tail, buf.data(), buf.size());
+  WriteWord(4, static_cast<uint32_t>((tail + frame) % cap));
+  return Status::kOk;
+}
+
+std::optional<SmdMessage> SmdRing::Pop() {
+  if (BytesUsed() < kFrameFixed) {
+    return std::nullopt;
+  }
+  const uint32_t head = ReadWord(0);
+  uint8_t fixed[kFrameFixed];
+  CopyOut(head, fixed, kFrameFixed);
+  auto get32 = [&](size_t at) {
+    return static_cast<uint32_t>(fixed[at]) | static_cast<uint32_t>(fixed[at + 1]) << 8 |
+           static_cast<uint32_t>(fixed[at + 2]) << 16 |
+           static_cast<uint32_t>(fixed[at + 3]) << 24;
+  };
+  if (get32(0) != kMagic) {
+    // Corrupt ring: drop everything (the real driver resets the port).
+    WriteWord(0, ReadWord(4));
+    return std::nullopt;
+  }
+  SmdMessage msg;
+  msg.port = static_cast<SmdPort>(get32(4));
+  msg.opcode = get32(8);
+  const uint32_t n_args = get32(12);
+  const uint32_t payload_len = get32(16);
+  const size_t cap = capacity();
+  std::vector<uint8_t> rest(n_args * 8 + payload_len);
+  CopyOut((head + kFrameFixed) % cap, rest.data(), rest.size());
+  size_t at = 0;
+  for (uint32_t i = 0; i < n_args; ++i) {
+    uint64_t u = 0;
+    for (int b = 0; b < 8; ++b) {
+      u |= static_cast<uint64_t>(rest[at++]) << (8 * b);
+    }
+    msg.args.push_back(static_cast<int64_t>(u));
+  }
+  msg.payload.assign(rest.begin() + at, rest.end());
+  WriteWord(0, static_cast<uint32_t>((head + kFrameFixed + rest.size()) % cap));
+  return msg;
+}
+
+SmdChannel::SmdChannel(Kernel* kernel, ObjectId container, size_t bytes_per_direction)
+    : kernel_(kernel) {
+  Segment* req = kernel_->Create<Segment>(container, Label(Level::k1), "smd/req",
+                                          bytes_per_direction + 8);
+  Segment* rep = kernel_->Create<Segment>(container, Label(Level::k1), "smd/rep",
+                                          bytes_per_direction + 8);
+  req_segment_ = req->id();
+  rep_segment_ = rep->id();
+}
+
+Result<SmdMessage> SmdChannel::Call(const SmdMessage& request) {
+  if (!handler_) {
+    return Status::kErrBadState;
+  }
+  SmdRing req_ring(kernel_, req_segment_);
+  SmdRing rep_ring(kernel_, rep_segment_);
+  CINDER_RETURN_IF_ERROR(req_ring.Push(request));
+  // "Interrupt" the ARM9: it drains the request ring and pushes a reply.
+  std::optional<SmdMessage> pending = req_ring.Pop();
+  if (!pending.has_value()) {
+    return Status::kErrBadState;
+  }
+  SmdMessage reply = handler_(*pending);
+  CINDER_RETURN_IF_ERROR(rep_ring.Push(reply));
+  std::optional<SmdMessage> out = rep_ring.Pop();
+  if (!out.has_value()) {
+    return Status::kErrBadState;
+  }
+  ++calls_;
+  return *out;
+}
+
+}  // namespace cinder

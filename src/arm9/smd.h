@@ -1,0 +1,99 @@
+// The shared-memory device (SMD) channel between the ARM11 and the secure
+// ARM9 (paper section 7, Figures 15 and 16).
+//
+// The MSM7201A's two cores communicate through shared memory plus interrupt
+// lines; Cinder mapped the shared segment into a privileged user process
+// (smdd). We model the transport faithfully: a byte ring inside a HiStar
+// Segment with explicit wire-format (little-endian) message frames. The
+// "interrupt line" is a synchronous dispatch to the peer's handler — the
+// simulator is single-threaded, so a request is answered before the call
+// returns, which matches how smdd's gate calls block the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/histar/kernel.h"
+#include "src/histar/segment.h"
+
+namespace cinder {
+
+// Logical SMD channels, mirroring the handset's port layout.
+enum class SmdPort : uint32_t {
+  kRadioControl = 1,  // AT-command-ish control plane (dial, SMS, registration).
+  kRadioData = 2,     // Packet data path.
+  kBattery = 3,       // Battery sensor (percent only; the ARM9 hides the rest).
+  kGps = 4,           // Position engine.
+};
+
+struct SmdMessage {
+  SmdPort port = SmdPort::kRadioControl;
+  uint32_t opcode = 0;
+  std::vector<int64_t> args;
+  std::vector<uint8_t> payload;
+};
+
+// A one-direction byte ring over a kernel Segment. The framing is explicit:
+//   u32 magic | u32 port | u32 opcode | u32 n_args | u32 payload_len |
+//   n_args * i64 | payload bytes
+class SmdRing {
+ public:
+  // The ring occupies [0, seg size) of the segment; the first 8 bytes hold
+  // head/tail offsets, the rest is data.
+  SmdRing(Kernel* kernel, ObjectId segment);
+
+  // Capacity in data bytes.
+  size_t capacity() const;
+  size_t BytesUsed() const;
+
+  // Serializes a frame into the ring. Fails with kErrExhausted if it does
+  // not fit (the real transport drops and retries; callers treat this as
+  // backpressure).
+  Status Push(const SmdMessage& msg);
+
+  // Pops one frame, if any.
+  std::optional<SmdMessage> Pop();
+
+ private:
+  uint32_t ReadWord(size_t offset) const;
+  void WriteWord(size_t offset, uint32_t v);
+  void CopyIn(size_t ring_offset, const uint8_t* data, size_t len);
+  void CopyOut(size_t ring_offset, uint8_t* out, size_t len) const;
+
+  Kernel* kernel_;
+  ObjectId segment_;
+};
+
+// The full-duplex channel: two rings in one segment (request half / reply
+// half) plus the "interrupt": a callback invoked when a request is raised.
+class SmdChannel {
+ public:
+  // Creates the backing segment inside `container`. Total size is split
+  // between the two directions.
+  SmdChannel(Kernel* kernel, ObjectId container, size_t bytes_per_direction = 4096);
+
+  ObjectId request_segment() const { return req_segment_; }
+  ObjectId reply_segment() const { return rep_segment_; }
+
+  // ARM11 -> ARM9. Returns the reply frame (the ARM9 handler is invoked
+  // synchronously, like an interrupt + poll cycle).
+  Result<SmdMessage> Call(const SmdMessage& request);
+
+  // The ARM9 side installs its handler here.
+  using Arm9Handler = std::function<SmdMessage(const SmdMessage&)>;
+  void set_arm9_handler(Arm9Handler h) { handler_ = std::move(h); }
+
+  int64_t calls() const { return calls_; }
+
+ private:
+  Kernel* kernel_;
+  ObjectId req_segment_ = kInvalidObjectId;
+  ObjectId rep_segment_ = kInvalidObjectId;
+  Arm9Handler handler_;
+  int64_t calls_ = 0;
+};
+
+}  // namespace cinder

@@ -1,0 +1,71 @@
+#include "src/arm9/smdd.h"
+
+namespace cinder {
+
+SmddService::SmddService(Simulator* sim) : sim_(sim) {
+  Kernel& k = sim_->kernel();
+  proc_ = sim_->CreateProcess("smdd");
+  channel_ = std::make_unique<SmdChannel>(&k, proc_.container);
+  arm9_ = std::make_unique<Arm9Coprocessor>(sim_, channel_.get());
+
+  Gate* gate =
+      k.Create<Gate>(proc_.container, Label(Level::k1), "smdd/gate", proc_.address_space);
+  gate->set_handler(
+      [this](Thread& caller, const GateMessage& msg) { return HandleGate(caller, msg); });
+  gate_ = gate->id();
+
+  // Map the shared-memory window into smdd's address space, as the port did.
+  AddressSpace* as = k.LookupTyped<AddressSpace>(proc_.address_space);
+  as->MapSegment(channel_->request_segment());
+  as->MapSegment(channel_->reply_segment());
+}
+
+GateReply SmddService::HandleGate(Thread& caller, const GateMessage& msg) {
+  (void)caller;  // Billing rides the caller's reserve automatically (gates).
+  GateReply reply;
+  if (msg.args.size() < 2) {
+    reply.status = Status::kErrInvalidArg;
+    return reply;
+  }
+  SmdMessage req;
+  req.port = static_cast<SmdPort>(msg.args[0]);
+  req.opcode = static_cast<uint32_t>(msg.args[1]);
+  req.args.assign(msg.args.begin() + 2, msg.args.end());
+  req.payload = msg.payload;
+
+  Result<SmdMessage> arm9_reply = channel_->Call(req);
+  if (!arm9_reply.ok()) {
+    reply.status = arm9_reply.status();
+    return reply;
+  }
+  if (arm9_reply->args.empty()) {
+    reply.status = Status::kErrBadState;
+    return reply;
+  }
+  reply.status = static_cast<Status>(arm9_reply->args[0]);
+  reply.rets.assign(arm9_reply->args.begin() + 1, arm9_reply->args.end());
+  reply.payload = arm9_reply->payload;
+  return reply;
+}
+
+SmddService::Arm9Reply SmddService::CallArm9(Thread& caller, SmdPort port, uint32_t opcode,
+                                             std::vector<int64_t> args,
+                                             std::vector<uint8_t> payload) {
+  GateMessage msg;
+  msg.opcode = kSmddOpRadioControl;  // Informational; routing is via args.
+  msg.args.push_back(static_cast<int64_t>(port));
+  msg.args.push_back(static_cast<int64_t>(opcode));
+  for (int64_t a : args) {
+    msg.args.push_back(a);
+  }
+  msg.payload = std::move(payload);
+  GateReply r = sim_->kernel().GateCall(caller, gate_, msg);
+  return Arm9Reply{r.status, r.rets};
+}
+
+int64_t SmddService::gate_calls() const {
+  const Gate* g = sim_->kernel().LookupTyped<Gate>(gate_);
+  return g == nullptr ? 0 : g->call_count();
+}
+
+}  // namespace cinder

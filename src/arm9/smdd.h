@@ -1,0 +1,54 @@
+// smdd: the privileged user-space daemon that owns the shared-memory window
+// to the ARM9 and re-exports its services as HiStar gates (paper section 7,
+// Figure 16 — "the user-level smdd daemon manages the shared memory interface
+// on the ARM11 and exports interfaces to the radio, GPS, battery sensor, and
+// so on via gate calls").
+//
+// Because the gates run on the CALLER's thread, every SMD transaction a
+// client causes — marshalling, the channel round trip, and the billed radio
+// estimate — is paid by the client's reserve, not by smdd.
+#pragma once
+
+#include "src/arm9/arm9.h"
+#include "src/arm9/smd.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+// Gate opcodes exported by smdd (a thin veneer over the ARM9 opcodes).
+inline constexpr uint64_t kSmddOpRadioControl = 1;
+inline constexpr uint64_t kSmddOpRadioData = 2;
+inline constexpr uint64_t kSmddOpBatteryLevel = 3;
+inline constexpr uint64_t kSmddOpGps = 4;
+
+class SmddService {
+ public:
+  explicit SmddService(Simulator* sim);
+
+  ObjectId gate_id() const { return gate_; }
+  SmdChannel& channel() { return *channel_; }
+  Arm9Coprocessor& arm9() { return *arm9_; }
+  const Simulator::Process& proc() const { return proc_; }
+
+  // Convenience wrapper: forwards an ARM9 request through the gate on behalf
+  // of `caller` and returns the ARM9 status plus reply args.
+  struct Arm9Reply {
+    Status status = Status::kOk;
+    std::vector<int64_t> args;
+  };
+  Arm9Reply CallArm9(Thread& caller, SmdPort port, uint32_t opcode,
+                     std::vector<int64_t> args = {}, std::vector<uint8_t> payload = {});
+
+  int64_t gate_calls() const;
+
+ private:
+  GateReply HandleGate(Thread& caller, const GateMessage& msg);
+
+  Simulator* sim_;
+  Simulator::Process proc_;
+  ObjectId gate_ = kInvalidObjectId;
+  std::unique_ptr<SmdChannel> channel_;
+  std::unique_ptr<Arm9Coprocessor> arm9_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,40 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cinder {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, msg.c_str());
+}
+
+}  // namespace cinder

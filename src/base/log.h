@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is single threaded; no locking is needed. Verbosity defaults
+// to kWarn so tests and benches stay quiet unless something is wrong.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cinder {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kNone = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define CINDER_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::cinder::GetLogLevel())) { \
+  } else                                                    \
+    ::cinder::LogLine(level, __FILE__, __LINE__)
+
+#define CINDER_DLOG() CINDER_LOG(::cinder::LogLevel::kDebug)
+#define CINDER_ILOG() CINDER_LOG(::cinder::LogLevel::kInfo)
+#define CINDER_WLOG() CINDER_LOG(::cinder::LogLevel::kWarn)
+#define CINDER_ELOG() CINDER_LOG(::cinder::LogLevel::kError)
+
+}  // namespace cinder

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic input to the simulator (radio activation jitter, outlier
+// episodes, workload perturbations) draws from a seeded generator so that
+// experiments regenerate byte-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace cinder {
+
+// SplitMix64: used to expand a user seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna. Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection sampling so
+  // the distribution is exactly uniform.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformRange(double lo, double hi);
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double NextGaussian();
+
+  // Gaussian with the given mean/stddev clamped into [lo, hi].
+  double ClampedGaussian(double mean, double stddev, double lo, double hi);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cinder

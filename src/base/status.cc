@@ -1,0 +1,33 @@
+#include "src/base/status.h"
+
+namespace cinder {
+
+std::string_view StatusToString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kErrNotFound:
+      return "ERR_NOT_FOUND";
+    case Status::kErrPermission:
+      return "ERR_PERMISSION";
+    case Status::kErrNoResource:
+      return "ERR_NO_RESOURCE";
+    case Status::kErrInvalidArg:
+      return "ERR_INVALID_ARG";
+    case Status::kErrBadState:
+      return "ERR_BAD_STATE";
+    case Status::kErrWouldBlock:
+      return "ERR_WOULD_BLOCK";
+    case Status::kErrExhausted:
+      return "ERR_EXHAUSTED";
+    case Status::kErrOutOfRange:
+      return "ERR_OUT_OF_RANGE";
+    case Status::kErrWrongType:
+      return "ERR_WRONG_TYPE";
+    case Status::kErrAlreadyExists:
+      return "ERR_ALREADY_EXISTS";
+  }
+  return "ERR_UNKNOWN";
+}
+
+}  // namespace cinder

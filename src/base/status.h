@@ -1,0 +1,67 @@
+// Error handling primitives, modeled on Zircon-style status codes.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+
+namespace cinder {
+
+enum class Status : int {
+  kOk = 0,
+  kErrNotFound = -1,       // No object with the given id.
+  kErrPermission = -2,     // Label check failed.
+  kErrNoResource = -3,     // Reserve has insufficient resource.
+  kErrInvalidArg = -4,     // Malformed request.
+  kErrBadState = -5,       // Object in a state that forbids the operation.
+  kErrWouldBlock = -6,     // Operation must wait (e.g. netd pooling).
+  kErrExhausted = -7,      // Hard quota / capacity exceeded.
+  kErrOutOfRange = -8,     // Value outside the permitted range.
+  kErrWrongType = -9,      // Object id refers to a different object type.
+  kErrAlreadyExists = -10, // Duplicate creation.
+};
+
+std::string_view StatusToString(Status s);
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+
+// A value-or-status result in the spirit of fit::result. The value is only
+// accessible when ok(); accessing it otherwise asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(status) { assert(status != Status::kOk); }  // NOLINT
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return value_;
+  }
+  T value_or(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define CINDER_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::cinder::Status s_ = (expr);           \
+    if (s_ != ::cinder::Status::kOk) {      \
+      return s_;                            \
+    }                                       \
+  } while (0)
+
+}  // namespace cinder

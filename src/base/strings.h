@@ -1,0 +1,11 @@
+// Small string formatting helpers (printf-style without iostream overhead).
+#pragma once
+
+#include <string>
+
+namespace cinder {
+
+// printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cinder

@@ -1,0 +1,68 @@
+#include "src/base/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cinder {
+
+void TableWriter::SetColumns(std::vector<std::string> names) { columns_ = std::move(names); }
+
+void TableWriter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TableWriter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  emit_row(columns_);
+  out += "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += columns_[c];
+    out += (c + 1 < columns_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out += (c + 1 < row.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+void TableWriter::Print() const {
+  std::printf("== %s ==\n%s\n# csv\n%s\n", title_.c_str(), ToAscii().c_str(), ToCsv().c_str());
+}
+
+}  // namespace cinder

@@ -1,0 +1,36 @@
+// ASCII table / CSV emission for bench harnesses.
+//
+// Every figure/table bench prints (a) a CSV block that can be plotted
+// directly and (b) an aligned ASCII table for the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cinder {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  void SetColumns(std::vector<std::string> names);
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders an aligned ASCII table.
+  std::string ToAscii() const;
+  // Renders RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  // Prints title, ASCII table, and a csv block to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,100 @@
+#include "src/base/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cinder {
+
+double TimeSeries::MinValue() const {
+  double m = samples_.empty() ? 0.0 : samples_[0].value;
+  for (const Sample& s : samples_) {
+    m = std::min(m, s.value);
+  }
+  return m;
+}
+
+double TimeSeries::MaxValue() const {
+  double m = samples_.empty() ? 0.0 : samples_[0].value;
+  for (const Sample& s : samples_) {
+    m = std::max(m, s.value);
+  }
+  return m;
+}
+
+double TimeSeries::MeanValue() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Sample& s : samples_) {
+    sum += s.value;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::IntegralOverTime() const {
+  double acc = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = (samples_[i].time - samples_[i - 1].time).seconds_f();
+    acc += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  return acc;
+}
+
+double TimeSeries::LastValue(double fallback) const {
+  return samples_.empty() ? fallback : samples_.back().value;
+}
+
+double TimeSeries::MeanAbove(double threshold) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.value >= threshold) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::TimeAbove(double threshold) const {
+  double acc = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i - 1].value >= threshold) {
+      acc += (samples_[i].time - samples_[i - 1].time).seconds_f();
+    }
+  }
+  return acc;
+}
+
+TimeSeries TimeSeries::Rebin(Duration bin) const {
+  TimeSeries out(name_);
+  if (samples_.empty() || !bin.IsPositive()) {
+    return out;
+  }
+  int64_t bin_us = bin.us();
+  int64_t cur_bin = samples_[0].time.us() / bin_us;
+  double sum = 0.0;
+  int64_t count = 0;
+  auto flush = [&]() {
+    if (count > 0) {
+      SimTime center = SimTime::FromMicros(cur_bin * bin_us + bin_us / 2);
+      out.Append(center, sum / static_cast<double>(count));
+    }
+  };
+  for (const Sample& s : samples_) {
+    int64_t b = s.time.us() / bin_us;
+    if (b != cur_bin) {
+      flush();
+      cur_bin = b;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += s.value;
+    ++count;
+  }
+  flush();
+  return out;
+}
+
+}  // namespace cinder

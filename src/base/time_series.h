@@ -1,0 +1,58 @@
+// Time-stamped sample series used by experiments to record traces
+// (power draw, reserve levels, bytes transferred) for figure regeneration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace cinder {
+
+struct Sample {
+  SimTime time;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Append(SimTime t, double value) { samples_.push_back({t, value}); }
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  double MinValue() const;
+  double MaxValue() const;
+  double MeanValue() const;
+  // Time-weighted integral of value over sample intervals (trapezoidal).
+  // For a power series in watts this yields joules.
+  double IntegralOverTime() const;
+  // Last sample value, or fallback when empty.
+  double LastValue(double fallback = 0.0) const;
+
+  // Mean of samples whose value satisfies value >= threshold.
+  double MeanAbove(double threshold) const;
+
+  // Total duration (seconds) during which value >= threshold, counting each
+  // inter-sample interval by its left endpoint's value.
+  double TimeAbove(double threshold) const;
+
+  // Downsample by averaging into fixed-width bins; returns (bin center
+  // time, mean value) pairs. Useful for compact figure output.
+  TimeSeries Rebin(Duration bin) const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,39 @@
+#include "src/base/units.h"
+
+#include <cstdio>
+
+namespace cinder {
+
+namespace {
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return std::string(buf);
+}
+}  // namespace
+
+std::string Duration::ToString() const {
+  if (us_ % 1000000 == 0) {
+    return std::to_string(us_ / 1000000) + "s";
+  }
+  if (us_ % 1000 == 0) {
+    return std::to_string(us_ / 1000) + "ms";
+  }
+  return std::to_string(us_) + "us";
+}
+
+std::string SimTime::ToString() const { return Format("t=%.3fs", seconds_f()); }
+
+std::string Power::ToString() const { return Format("%.3fmW", milliwatts_f()); }
+
+std::string Energy::ToString() const {
+  if (nj_ >= 1000000000 || nj_ <= -1000000000) {
+    return Format("%.3fJ", joules_f());
+  }
+  if (nj_ >= 1000000 || nj_ <= -1000000) {
+    return Format("%.3fmJ", millijoules_f());
+  }
+  return Format("%.3fuJ", microjoules_f());
+}
+
+}  // namespace cinder

@@ -1,0 +1,190 @@
+// Strong unit types used throughout Cinder.
+//
+// All simulation quantities are integer-valued so that resource flows are
+// exactly conserved (tap flows round down; remainders stay in the source):
+//   Duration / SimTime : microseconds (us)
+//   Power              : microwatts   (uW)
+//   Energy             : nanojoules   (nJ)
+//
+// 1 uW over 1 us is 1 picojoule, so Power * Duration divides by 1000 to
+// produce nanojoules. With powers below ~10 W and horizons below ~10^6 s the
+// intermediate product fits comfortably in int64.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cinder {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000); }
+  static constexpr Duration Minutes(int64_t m) { return Duration(m * 60 * 1000000); }
+  // Rounds toward zero.
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr int64_t ms() const { return us_ / 1000; }
+  constexpr int64_t secs() const { return us_ / 1000000; }
+  constexpr double seconds_f() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr bool IsZero() const { return us_ == 0; }
+  constexpr bool IsPositive() const { return us_ > 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(us_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(us_ / k); }
+  constexpr int64_t operator/(Duration o) const { return us_ / o.us_; }
+  constexpr Duration operator%(Duration o) const { return Duration(us_ % o.us_); }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+// A point on the simulation clock. SimTime - SimTime = Duration.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double seconds_f() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(us_ + d.us()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(us_ - d.us()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::Micros(us_ - o.us_); }
+  SimTime& operator+=(Duration d) {
+    us_ += d.us();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+class Energy;
+
+class Power {
+ public:
+  constexpr Power() = default;
+
+  static constexpr Power Microwatts(int64_t uw) { return Power(uw); }
+  static constexpr Power Milliwatts(int64_t mw) { return Power(mw * 1000); }
+  static constexpr Power Watts(double w) { return Power(static_cast<int64_t>(w * 1e6)); }
+  static constexpr Power Zero() { return Power(0); }
+
+  constexpr int64_t uw() const { return uw_; }
+  constexpr double milliwatts_f() const { return static_cast<double>(uw_) * 1e-3; }
+  constexpr double watts_f() const { return static_cast<double>(uw_) * 1e-6; }
+
+  constexpr bool IsZero() const { return uw_ == 0; }
+
+  constexpr Power operator+(Power o) const { return Power(uw_ + o.uw_); }
+  constexpr Power operator-(Power o) const { return Power(uw_ - o.uw_); }
+  constexpr Power operator*(int64_t k) const { return Power(uw_ * k); }
+  constexpr Power operator/(int64_t k) const { return Power(uw_ / k); }
+  Power& operator+=(Power o) {
+    uw_ += o.uw_;
+    return *this;
+  }
+  Power& operator-=(Power o) {
+    uw_ -= o.uw_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Power&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Power(int64_t uw) : uw_(uw) {}
+  int64_t uw_ = 0;
+};
+
+class Energy {
+ public:
+  constexpr Energy() = default;
+
+  static constexpr Energy Nanojoules(int64_t nj) { return Energy(nj); }
+  static constexpr Energy Microjoules(int64_t uj) { return Energy(uj * 1000); }
+  static constexpr Energy Millijoules(int64_t mj) { return Energy(mj * 1000000); }
+  static constexpr Energy Joules(double j) { return Energy(static_cast<int64_t>(j * 1e9)); }
+  static constexpr Energy Zero() { return Energy(0); }
+
+  constexpr int64_t nj() const { return nj_; }
+  constexpr double microjoules_f() const { return static_cast<double>(nj_) * 1e-3; }
+  constexpr double millijoules_f() const { return static_cast<double>(nj_) * 1e-6; }
+  constexpr double joules_f() const { return static_cast<double>(nj_) * 1e-9; }
+
+  constexpr bool IsZero() const { return nj_ == 0; }
+  constexpr bool IsPositive() const { return nj_ > 0; }
+  constexpr bool IsNegative() const { return nj_ < 0; }
+
+  constexpr Energy operator+(Energy o) const { return Energy(nj_ + o.nj_); }
+  constexpr Energy operator-(Energy o) const { return Energy(nj_ - o.nj_); }
+  constexpr Energy operator-() const { return Energy(-nj_); }
+  constexpr Energy operator*(int64_t k) const { return Energy(nj_ * k); }
+  constexpr Energy operator/(int64_t k) const { return Energy(nj_ / k); }
+  Energy& operator+=(Energy o) {
+    nj_ += o.nj_;
+    return *this;
+  }
+  Energy& operator-=(Energy o) {
+    nj_ -= o.nj_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Energy&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Energy(int64_t nj) : nj_(nj) {}
+  int64_t nj_ = 0;
+};
+
+// Exact integer energy for power applied over a duration, rounding toward
+// zero (1 uW * 1 us = 1 pJ = 1/1000 nJ).
+constexpr Energy operator*(Power p, Duration d) {
+  return Energy::Nanojoules(p.uw() * d.us() / 1000);
+}
+constexpr Energy operator*(Duration d, Power p) { return p * d; }
+
+// Average power of an energy spent over a duration; zero duration yields zero.
+constexpr Power AveragePower(Energy e, Duration d) {
+  if (d.us() == 0) {
+    return Power::Zero();
+  }
+  return Power::Microwatts(e.nj() * 1000 / d.us());
+}
+
+constexpr Energy MinEnergy(Energy a, Energy b) { return a < b ? a : b; }
+constexpr Energy MaxEnergy(Energy a, Energy b) { return a > b ? a : b; }
+
+}  // namespace cinder

@@ -1,0 +1,85 @@
+#include "src/baseline/currentcy.h"
+
+namespace cinder {
+
+CurrentcySystem::CurrentcySystem() : CurrentcySystem(Config{}) {}
+
+int CurrentcySystem::CreateContainer(double share) {
+  containers_.push_back({share, 0});
+  return static_cast<int>(containers_.size()) - 1;
+}
+
+int CurrentcySystem::AddTask(int container) {
+  tasks_.push_back({container, false, 0, 0});
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void CurrentcySystem::SetTaskSpinning(int task, bool spinning) {
+  tasks_[static_cast<size_t>(task)].spinning = spinning;
+}
+
+void CurrentcySystem::RunEpoch() {
+  // Allot currentcy proportional to share.
+  double total_share = 0.0;
+  for (const auto& c : containers_) {
+    total_share += c.share;
+  }
+  const Quantity epoch_energy = ToQuantity(config_.cpu_power * config_.epoch);
+  const Quantity cap = ToQuantity(config_.container_cap);
+  if (total_share > 0.0) {
+    for (auto& c : containers_) {
+      c.balance += static_cast<Quantity>(static_cast<double>(epoch_energy) *
+                                         (c.share / total_share));
+      if (c.balance > cap) {
+        c.balance = cap;
+      }
+    }
+  }
+  for (auto& t : tasks_) {
+    t.last_epoch = 0;
+  }
+  // Time-slice the single CPU round-robin among payable spinning tasks.
+  const int64_t slices = config_.epoch / config_.slice;
+  const Quantity slice_cost = ToQuantity(config_.cpu_power * config_.slice);
+  for (int64_t s = 0; s < slices; ++s) {
+    const size_t n = tasks_.size();
+    if (n == 0) {
+      break;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = (rr_cursor_ + i) % n;
+      TaskState& t = tasks_[idx];
+      if (!t.spinning) {
+        continue;
+      }
+      ContainerState& c = containers_[static_cast<size_t>(t.container)];
+      if (c.balance < slice_cost) {
+        continue;
+      }
+      c.balance -= slice_cost;
+      t.last_epoch += slice_cost;
+      t.total += slice_cost;
+      rr_cursor_ = (idx + 1) % n;
+      break;
+    }
+  }
+  ++epochs_;
+}
+
+Energy CurrentcySystem::ContainerBalance(int container) const {
+  return ToEnergy(containers_[static_cast<size_t>(container)].balance);
+}
+
+Energy CurrentcySystem::TaskConsumedLastEpoch(int task) const {
+  return ToEnergy(tasks_[static_cast<size_t>(task)].last_epoch);
+}
+
+Energy CurrentcySystem::TaskConsumedTotal(int task) const {
+  return ToEnergy(tasks_[static_cast<size_t>(task)].total);
+}
+
+Power CurrentcySystem::TaskPowerLastEpoch(int task) const {
+  return AveragePower(TaskConsumedLastEpoch(task), config_.epoch);
+}
+
+}  // namespace cinder

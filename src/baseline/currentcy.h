@@ -1,0 +1,75 @@
+// ECOSystem-style "currentcy" baseline (Zeng 2002/2003), used by ablation
+// benches to reproduce the paper's argument for subdivision (section 2.3).
+//
+// ECOSystem groups related processes into FLAT resource containers: each
+// container receives currentcy every epoch in proportion to its share, and
+// every task in the container spends from the common balance. Children
+// forked by a task land in the same container — so a browser cannot protect
+// itself from its own plugin, and a fork-bomb dilutes its siblings. Cinder's
+// reserves+taps fix exactly this (hierarchical subdivision), which the
+// ablation bench demonstrates side by side.
+//
+// This is a small self-contained allocator model (one CPU, spinning tasks),
+// deliberately independent of the Cinder kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/core/resource.h"
+
+namespace cinder {
+
+class CurrentcySystem {
+ public:
+  struct Config {
+    Power cpu_power = Power::Milliwatts(137);
+    Duration epoch = Duration::Seconds(1);
+    Duration slice = Duration::Millis(1);
+    // Per-container accumulation cap, as in ECOSystem (limits hoarding).
+    Energy container_cap = Energy::Millijoules(500);
+  };
+
+  CurrentcySystem();
+  explicit CurrentcySystem(Config config) : config_(config) {}
+
+  // Creates a container with a proportional share of the total allotment.
+  int CreateContainer(double share);
+  // Adds a task to a container (forked children join the parent's container —
+  // the ECOSystem limitation under study). Returns the task id.
+  int AddTask(int container);
+
+  void SetTaskSpinning(int task, bool spinning);
+
+  // Advances one epoch: allot currentcy by share, then time-slice the CPU
+  // round-robin among spinning tasks whose containers can pay.
+  void RunEpoch();
+
+  int64_t epochs_run() const { return epochs_; }
+  Energy ContainerBalance(int container) const;
+  Energy TaskConsumedLastEpoch(int task) const;
+  Energy TaskConsumedTotal(int task) const;
+  // Average power over the last epoch.
+  Power TaskPowerLastEpoch(int task) const;
+
+ private:
+  struct ContainerState {
+    double share = 0.0;
+    Quantity balance = 0;
+  };
+  struct TaskState {
+    int container = -1;
+    bool spinning = false;
+    Quantity last_epoch = 0;
+    Quantity total = 0;
+  };
+
+  Config config_;
+  std::vector<ContainerState> containers_;
+  std::vector<TaskState> tasks_;
+  size_t rr_cursor_ = 0;
+  int64_t epochs_ = 0;
+};
+
+}  // namespace cinder

@@ -1,0 +1,91 @@
+#include "src/baseline/pipe_ipc.h"
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+
+// The daemon: drains its queue one quantum of work at a time. The scheduler
+// bills each quantum to the daemon's own reserve — misattribution by design.
+class PipeIpcService::Body final : public ThreadBody {
+ public:
+  explicit Body(PipeIpcService* svc) : svc_(svc) {}
+
+  void OnQuantum(QuantumContext& ctx) override {
+    PipeIpcService* s = svc_;
+    if (s->work_left_ == 0) {
+      if (s->queue_.empty()) {
+        // Nothing to do; nap briefly (a real daemon blocks in read()).
+        ctx.thread.SleepUntil(ctx.now + Duration::Millis(5));
+        return;
+      }
+      s->work_left_ = s->queue_.front().quanta;
+    }
+    if (--s->work_left_ == 0) {
+      s->queue_.pop_front();
+      ++s->processed_;
+    }
+  }
+
+ private:
+  PipeIpcService* svc_;
+};
+
+PipeIpcService::PipeIpcService(Simulator* sim, Power service_rate) : sim_(sim) {
+  Kernel& k = sim_->kernel();
+  Thread* boot = sim_->boot_thread();
+  proc_ = sim_->CreateProcess("piped");
+  reserve_ = ReserveCreate(k, *boot, proc_.container, Label(Level::k1), "piped/reserve").value();
+  Result<ObjectId> tap =
+      TapCreate(k, sim_->taps(), *boot, proc_.container, sim_->battery_reserve_id(), reserve_,
+                Label(Level::k1), "piped/tap");
+  (void)TapSetConstantPower(k, *boot, tap.value(), service_rate);
+  k.LookupTyped<Thread>(proc_.thread)->set_active_reserve(reserve_);
+  sim_->AttachBody(proc_.thread, std::make_unique<Body>(this));
+}
+
+void PipeIpcService::Request(ObjectId client_thread, int64_t quanta_of_work) {
+  queue_.push_back({client_thread, quanta_of_work});
+  if (Thread* t = sim_->kernel().LookupTyped<Thread>(proc_.thread); t != nullptr) {
+    t->Wake();
+  }
+}
+
+GateComputeService::GateComputeService(Simulator* sim) : sim_(sim) {
+  Kernel& k = sim_->kernel();
+  proc_ = sim_->CreateProcess("gated");
+  Gate* gate =
+      k.Create<Gate>(proc_.container, Label(Level::k1), "gated/compute", proc_.address_space);
+  Simulator* s = sim_;
+  int64_t* processed = &processed_;
+  gate->set_handler([s, processed](Thread& caller, const GateMessage& msg) {
+    GateReply reply;
+    if (msg.args.size() != 1 || msg.args[0] < 0) {
+      reply.status = Status::kErrInvalidArg;
+      return reply;
+    }
+    // The caller's thread executes the service's loop: CPU for the work is
+    // drawn from the caller's reserves and recorded against the caller.
+    const Energy cost = s->config().model.cpu_active * (s->config().quantum * msg.args[0]);
+    Reserve* r = s->kernel().LookupTyped<Reserve>(caller.active_reserve());
+    if (r == nullptr) {
+      reply.status = Status::kErrNoResource;
+      return reply;
+    }
+    reply.status = r->Consume(ToQuantity(cost));
+    if (reply.status == Status::kOk) {
+      s->meter().Record(Component::kCpu, caller.id(), cost);
+      ++*processed;
+    }
+    return reply;
+  });
+  gate_ = gate->id();
+}
+
+Status GateComputeService::Call(Thread& caller, int64_t quanta_of_work) {
+  GateMessage msg;
+  msg.opcode = 1;
+  msg.args.push_back(quanta_of_work);
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+}  // namespace cinder

@@ -1,0 +1,74 @@
+// Cinder-Linux style message-passing IPC baseline (paper section 7.1).
+//
+// With pipes / message queues, a request is serviced by a SERVER thread in
+// the server's own protection domain, so the CPU the server burns is billed
+// to the *server's* reserve — the kernel cannot tell which client caused the
+// work. Contrast with HiStar gates, where the client thread itself executes
+// the server code and keeps billing its own reserve.
+//
+// The ablation bench runs the same workload through both paths and compares
+// the meter's per-principal attribution: the gate path bills clients
+// accurately; the pipe path lumps everything onto the daemon.
+#pragma once
+
+#include <deque>
+
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+class PipeIpcService {
+ public:
+  // `service_rate` feeds the daemon's reserve — it must be provisioned for
+  // the whole system's worth of requests, which is itself part of the
+  // problem the paper points out.
+  PipeIpcService(Simulator* sim, Power service_rate);
+
+  // Enqueues a request needing `quanta_of_work` CPU quanta from the daemon.
+  // Like a pipe write: fire and forget, no resource transfer.
+  void Request(ObjectId client_thread, int64_t quanta_of_work);
+
+  ObjectId server_thread() const { return proc_.thread; }
+  ObjectId server_reserve() const { return reserve_; }
+  int64_t processed() const { return processed_; }
+  int64_t queued() const { return static_cast<int64_t>(queue_.size()); }
+  bool idle() const { return queue_.empty() && work_left_ == 0; }
+
+ private:
+  class Body;
+  friend class Body;
+
+  struct PendingRequest {
+    ObjectId client = kInvalidObjectId;
+    int64_t quanta = 0;
+  };
+
+  Simulator* sim_;
+  Simulator::Process proc_;
+  ObjectId reserve_ = kInvalidObjectId;
+  std::deque<PendingRequest> queue_;
+  int64_t work_left_ = 0;
+  int64_t processed_ = 0;
+};
+
+// The gate-based equivalent: a compute service whose handler runs on the
+// calling thread. One call performs the same amount of "work" by consuming
+// the CPU estimate directly from the caller's reserves, which is exactly
+// what happens when a thread executes service code across a gate.
+class GateComputeService {
+ public:
+  explicit GateComputeService(Simulator* sim);
+
+  ObjectId gate_id() const { return gate_; }
+  // Performs `quanta_of_work` worth of CPU on behalf of `caller`.
+  Status Call(Thread& caller, int64_t quanta_of_work);
+  int64_t processed() const { return processed_; }
+
+ private:
+  Simulator* sim_;
+  Simulator::Process proc_;
+  ObjectId gate_ = kInvalidObjectId;
+  int64_t processed_ = 0;
+};
+
+}  // namespace cinder

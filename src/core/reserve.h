@@ -1,0 +1,104 @@
+// Reserves: the right to use a quantity of a resource (paper section 3.2).
+//
+// The kernel decrements a reserve when its resource is consumed and refuses
+// actions whose reserves are exhausted. Reserves compose with taps into the
+// resource consumption graph rooted at the battery, and support delegation
+// (attach another thread), subdivision (split quantities into new reserves),
+// and accounting (consumption counters readable by applications).
+//
+// A reserve may be marked `allow_debt`: netd uses this to bill incoming
+// packets whose cost is only known after the energy was spent (paper
+// section 5.5.2 — "threads can debit their own reserves up to or into debt").
+// A reserve in debt counts as empty for scheduling.
+#pragma once
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/core/resource.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class Reserve final : public KernelObject {
+ public:
+  Reserve(ObjectId id, Label label, std::string name,
+          ResourceKind kind = ResourceKind::kEnergy)
+      : KernelObject(id, ObjectType::kReserve, std::move(label), std::move(name)), kind_(kind) {}
+
+  ResourceKind kind() const { return kind_; }
+
+  Quantity level() const { return level_; }
+  bool IsEmpty() const { return level_ <= 0; }
+  Energy energy() const { return ToEnergy(level_); }
+
+  bool allow_debt() const { return allow_debt_; }
+  void set_allow_debt(bool v) { allow_debt_ = v; }
+
+  // Exempt from the global anti-hoarding decay. Only the battery root and
+  // explicitly trusted pools (netd's) should set this (paper section 5.5.2:
+  // "the netd reserve is not subject to the system global half-life").
+  bool decay_exempt() const { return decay_exempt_; }
+  void set_decay_exempt(bool v) { decay_exempt_ = v; }
+
+  // -- Mutation (kernel / tap engine only; syscall wrappers check labels) -----
+
+  // Consumes up to `amount`. Fails with kErrNoResource if the reserve cannot
+  // cover it (unless allow_debt, which permits going negative).
+  Status Consume(Quantity amount) {
+    if (amount < 0) {
+      return Status::kErrInvalidArg;
+    }
+    if (level_ < amount && !allow_debt_) {
+      return Status::kErrNoResource;
+    }
+    level_ -= amount;
+    consumed_ += amount;
+    return Status::kOk;
+  }
+
+  // Consumes whatever is available up to `amount`; returns the amount taken.
+  // Used by the scheduler to drain a reserve exactly to zero on the final
+  // quantum rather than denying it.
+  Quantity ConsumeUpTo(Quantity amount) {
+    Quantity take = level_ < amount ? level_ : amount;
+    if (take < 0) {
+      take = 0;
+    }
+    level_ -= take;
+    consumed_ += take;
+    return take;
+  }
+
+  void Deposit(Quantity amount) {
+    level_ += amount;
+    deposited_ += amount;
+  }
+
+  // Removes up to `amount` for transfer to another reserve (never below 0).
+  Quantity Withdraw(Quantity amount) {
+    Quantity take = level_ < amount ? level_ : amount;
+    if (take < 0) {
+      take = 0;
+    }
+    level_ -= take;
+    return take;
+  }
+
+  Status ConsumeEnergy(Energy e) { return Consume(ToQuantity(e)); }
+  void DepositEnergy(Energy e) { Deposit(ToQuantity(e)); }
+
+  // -- Accounting ---------------------------------------------------------------
+  Quantity total_consumed() const { return consumed_; }
+  Quantity total_deposited() const { return deposited_; }
+  Energy energy_consumed() const { return ToEnergy(consumed_); }
+
+ private:
+  ResourceKind kind_;
+  Quantity level_ = 0;
+  Quantity consumed_ = 0;
+  Quantity deposited_ = 0;
+  bool allow_debt_ = false;
+  bool decay_exempt_ = false;
+};
+
+}  // namespace cinder

@@ -1,0 +1,17 @@
+#include "src/core/resource.h"
+
+namespace cinder {
+
+std::string_view ResourceKindName(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kEnergy:
+      return "energy";
+    case ResourceKind::kNetBytes:
+      return "net_bytes";
+    case ResourceKind::kSms:
+      return "sms";
+  }
+  return "unknown";
+}
+
+}  // namespace cinder

@@ -1,0 +1,41 @@
+// Resource kinds managed by reserves and taps.
+//
+// Energy is the paper's focus; network bytes and SMS messages implement the
+// future-work extension (paper section 9: "Cinder's mechanisms could be
+// repurposed to limit application network access by replacing the logical
+// battery with a pool of network bytes").
+//
+// Quantities are int64 in a kind-specific base unit:
+//   kEnergy   : nanojoules
+//   kNetBytes : bytes
+//   kSms      : messages
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/units.h"
+
+namespace cinder {
+
+enum class ResourceKind : uint8_t {
+  kEnergy = 0,
+  kNetBytes = 1,
+  kSms = 2,
+};
+
+std::string_view ResourceKindName(ResourceKind k);
+
+using Quantity = int64_t;
+
+inline Quantity ToQuantity(Energy e) { return e.nj(); }
+inline Energy ToEnergy(Quantity q) { return Energy::Nanojoules(q); }
+
+// Rate of flow in quantity units per second. For energy this is nJ/s; note
+// 1 uW == 1000 nJ/s.
+using QuantityRate = int64_t;
+
+inline QuantityRate RateFromPower(Power p) { return p.uw() * 1000; }
+inline Power PowerFromRate(QuantityRate r) { return Power::Microwatts(r / 1000); }
+
+}  // namespace cinder

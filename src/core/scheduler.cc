@@ -1,0 +1,141 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+
+namespace cinder {
+
+EnergyAwareScheduler::EnergyAwareScheduler(Kernel* kernel) : kernel_(kernel) {
+  kernel_->AddObserver(this);
+}
+
+EnergyAwareScheduler::~EnergyAwareScheduler() { kernel_->RemoveObserver(this); }
+
+void EnergyAwareScheduler::AddThread(ObjectId thread_id) {
+  for (ObjectId t : threads_) {
+    if (t == thread_id) {
+      return;
+    }
+  }
+  threads_.push_back(thread_id);
+}
+
+bool EnergyAwareScheduler::HasEnergy(const Thread& t) const {
+  for (ObjectId rid : t.attached_reserves()) {
+    const Reserve* r = kernel_->LookupTyped<Reserve>(rid);
+    if (r != nullptr && r->level() > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ObjectId EnergyAwareScheduler::PickNext(SimTime now) {
+  static const std::function<bool(ObjectId)> kAll = [](ObjectId) { return true; };
+  return PickNext(now, kAll);
+}
+
+ObjectId EnergyAwareScheduler::PickNext(SimTime now,
+                                        const std::function<bool(ObjectId)>& eligible) {
+  if (threads_.empty()) {
+    return kInvalidObjectId;
+  }
+  const size_t n = threads_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = (rr_cursor_ + i) % n;
+    Thread* t = kernel_->LookupTyped<Thread>(threads_[idx]);
+    if (t == nullptr) {
+      continue;
+    }
+    if (t->state() == ThreadState::kSleeping && t->wake_time() <= now) {
+      t->Wake();
+    }
+    if (t->state() != ThreadState::kRunnable) {
+      continue;
+    }
+    if (!eligible(threads_[idx])) {
+      continue;
+    }
+    if (!HasEnergy(*t)) {
+      t->IncrementQuantaDenied();
+      continue;
+    }
+    rr_cursor_ = (idx + 1) % n;
+    return threads_[idx];
+  }
+  return kInvalidObjectId;
+}
+
+Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
+  Quantity remaining = ToQuantity(cost);
+  Quantity drawn = 0;
+  // Active reserve pays first.
+  if (Reserve* active = kernel_->LookupTyped<Reserve>(t.active_reserve()); active != nullptr) {
+    Quantity got = active->ConsumeUpTo(remaining);
+    drawn += got;
+    remaining -= got;
+  }
+  if (remaining > 0) {
+    for (ObjectId rid : t.attached_reserves()) {
+      if (rid == t.active_reserve()) {
+        continue;
+      }
+      Reserve* r = kernel_->LookupTyped<Reserve>(rid);
+      if (r == nullptr) {
+        continue;
+      }
+      Quantity got = r->ConsumeUpTo(remaining);
+      drawn += got;
+      remaining -= got;
+      if (remaining == 0) {
+        break;
+      }
+    }
+  }
+  if (remaining > 0) {
+    // The quantum already ran at full CPU power; the balance lands on a
+    // reserve as debt. Debt is bounded by one quantum because the scheduler
+    // denies the thread while every reserve is <= 0, so billing stays equal
+    // to actual consumption without letting threads run ahead of income.
+    Reserve* sink = kernel_->LookupTyped<Reserve>(t.active_reserve());
+    if (sink == nullptr) {
+      for (ObjectId rid : t.attached_reserves()) {
+        sink = kernel_->LookupTyped<Reserve>(rid);
+        if (sink != nullptr) {
+          break;
+        }
+      }
+    }
+    if (sink != nullptr) {
+      const bool saved = sink->allow_debt();
+      sink->set_allow_debt(true);
+      (void)sink->Consume(remaining);
+      sink->set_allow_debt(saved);
+      drawn += remaining;
+      remaining = 0;
+    }
+  }
+  Energy billed = ToEnergy(drawn);
+  t.AddCpuEnergy(billed);
+  return billed;
+}
+
+void EnergyAwareScheduler::OnObjectDeleted(ObjectId id, ObjectType type) {
+  if (type != ObjectType::kThread) {
+    return;
+  }
+  auto it = std::find(threads_.begin(), threads_.end(), id);
+  if (it != threads_.end()) {
+    size_t idx = static_cast<size_t>(it - threads_.begin());
+    threads_.erase(it);
+    if (rr_cursor_ > idx) {
+      --rr_cursor_;
+    }
+    if (!threads_.empty()) {
+      rr_cursor_ %= threads_.size();
+    } else {
+      rr_cursor_ = 0;
+    }
+  }
+}
+
+}  // namespace cinder

@@ -1,0 +1,59 @@
+// The energy-aware CPU scheduler (paper section 3.2).
+//
+// Round-robin over registered threads, with the Cinder twist: a thread is
+// eligible to run only while at least one of its attached reserves is
+// non-empty. Threads that have depleted their reserves simply do not run,
+// which throttles all new spending. CPU energy for a quantum is billed to the
+// thread's active reserve first, then to its other attached reserves in
+// attach order (threads "draw from one or more energy reserves").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/core/reserve.h"
+#include "src/histar/kernel.h"
+
+namespace cinder {
+
+class EnergyAwareScheduler : public KernelObserver {
+ public:
+  explicit EnergyAwareScheduler(Kernel* kernel);
+  ~EnergyAwareScheduler() override;
+
+  EnergyAwareScheduler(const EnergyAwareScheduler&) = delete;
+  EnergyAwareScheduler& operator=(const EnergyAwareScheduler&) = delete;
+
+  void AddThread(ObjectId thread_id);
+  const std::vector<ObjectId>& threads() const { return threads_; }
+
+  // True if any attached reserve is non-empty (strictly positive level).
+  bool HasEnergy(const Thread& t) const;
+
+  // Wakes sleepers whose deadline has passed, then returns the next thread
+  // (round-robin) that is runnable and has energy. Threads that are runnable
+  // but energy-starved get their denied-quantum counter bumped. Returns
+  // kInvalidObjectId when nothing can run.
+  //
+  // `eligible`, when provided, additionally filters candidates (the
+  // simulator passes "has an attached body", so pure-principal helper
+  // threads never occupy CPU quanta).
+  ObjectId PickNext(SimTime now);
+  ObjectId PickNext(SimTime now, const std::function<bool(ObjectId)>& eligible);
+
+  // Draws `cost` from the thread's reserves (active first, then others in
+  // attach order); returns the amount actually drawn, which is less than
+  // `cost` only when every reserve ran dry this quantum.
+  Energy ChargeCpu(Thread& t, Energy cost);
+
+  // KernelObserver: drop deleted threads from the run queue.
+  void OnObjectDeleted(ObjectId id, ObjectType type) override;
+
+ private:
+  Kernel* kernel_;
+  std::vector<ObjectId> threads_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace cinder

@@ -1,0 +1,296 @@
+#include "src/core/syscalls.h"
+
+#include <algorithm>
+
+namespace cinder {
+
+namespace {
+// Creating inside a container means writing to it.
+Status CheckContainerWrite(Kernel& k, const Thread& t, ObjectId container) {
+  const Container* c = k.LookupTyped<Container>(container);
+  if (c == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanModify(t, *c)) {
+    return Status::kErrPermission;
+  }
+  return Status::kOk;
+}
+}  // namespace
+
+Result<ObjectId> ReserveCreate(Kernel& k, Thread& t, ObjectId container, const Label& label,
+                               std::string name, ResourceKind kind) {
+  CINDER_RETURN_IF_ERROR(CheckContainerWrite(k, t, container));
+  Reserve* r = k.Create<Reserve>(container, label, std::move(name), kind);
+  if (r == nullptr) {
+    return Status::kErrExhausted;
+  }
+  return r->id();
+}
+
+Result<Quantity> ReserveLevel(Kernel& k, const Thread& t, ObjectId reserve) {
+  const Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanObserve(t, *r)) {
+    return Status::kErrPermission;
+  }
+  return r->level();
+}
+
+Result<Quantity> ReserveConsumed(Kernel& k, const Thread& t, ObjectId reserve) {
+  const Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanObserve(t, *r)) {
+    return Status::kErrPermission;
+  }
+  return r->total_consumed();
+}
+
+Status ReserveConsume(Kernel& k, Thread& t, ObjectId reserve, Quantity amount) {
+  Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanUse(t, *r)) {
+    return Status::kErrPermission;
+  }
+  return r->Consume(amount);
+}
+
+Status ReserveTransfer(Kernel& k, Thread& t, ObjectId from, ObjectId to, Quantity amount) {
+  if (amount < 0 || from == to) {
+    return Status::kErrInvalidArg;
+  }
+  Reserve* src = k.LookupTyped<Reserve>(from);
+  Reserve* dst = k.LookupTyped<Reserve>(to);
+  if (src == nullptr || dst == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (src->kind() != dst->kind()) {
+    return Status::kErrWrongType;
+  }
+  if (!k.CanUse(t, *src) || !k.CanUse(t, *dst)) {
+    return Status::kErrPermission;
+  }
+  if (src->level() < amount) {
+    return Status::kErrNoResource;
+  }
+  Quantity moved = src->Withdraw(amount);
+  dst->Deposit(moved);
+  return Status::kOk;
+}
+
+Result<ObjectId> ReserveSplit(Kernel& k, Thread& t, ObjectId from, Quantity amount,
+                              ObjectId container, const Label& label, std::string name) {
+  Reserve* src = k.LookupTyped<Reserve>(from);
+  if (src == nullptr) {
+    return Status::kErrNotFound;
+  }
+  Result<ObjectId> created = ReserveCreate(k, t, container, label, std::move(name), src->kind());
+  if (!created.ok()) {
+    return created.status();
+  }
+  Status s = ReserveTransfer(k, t, from, created.value(), amount);
+  if (s != Status::kOk) {
+    (void)k.Delete(created.value());
+    return s;
+  }
+  return created.value();
+}
+
+Status ReserveDelete(Kernel& k, Thread& t, ObjectId reserve) {
+  Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanModify(t, *r)) {
+    return Status::kErrPermission;
+  }
+  return k.Delete(reserve);
+}
+
+namespace {
+// The drain rate (fraction per second) of the fastest backward proportional
+// tap on `reserve` that `t` cannot remove. 0.0 when unconstrained.
+double LockedDrainFraction(Kernel& k, TapEngine& engine, const Thread& t, ObjectId reserve) {
+  double max_fraction = 0.0;
+  for (ObjectId tap_id : engine.TapsFromSource(reserve)) {
+    const Tap* tap = k.LookupTyped<Tap>(tap_id);
+    if (tap == nullptr || tap->tap_type() != TapType::kProportional) {
+      continue;
+    }
+    if (k.CanModify(t, *tap)) {
+      continue;  // The caller could legitimately remove this drain.
+    }
+    max_fraction = std::max(max_fraction, tap->fraction_per_sec());
+  }
+  return max_fraction;
+}
+}  // namespace
+
+Result<ObjectId> ReserveClone(Kernel& k, TapEngine& engine, Thread& t, ObjectId source,
+                              ObjectId container, const Label& label, std::string name) {
+  Reserve* src = k.LookupTyped<Reserve>(source);
+  if (src == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanObserve(t, *src)) {
+    return Status::kErrPermission;
+  }
+  Result<ObjectId> created = ReserveCreate(k, t, container, label, name, src->kind());
+  if (!created.ok()) {
+    return created.status();
+  }
+  // Duplicate every backward proportional tap the caller cannot remove; the
+  // duplicates keep the ORIGINAL tap's embedded credentials so the caller
+  // cannot delete them afterwards either.
+  for (ObjectId tap_id : engine.TapsFromSource(source)) {
+    const Tap* orig = k.LookupTyped<Tap>(tap_id);
+    if (orig == nullptr || orig->tap_type() != TapType::kProportional ||
+        k.CanModify(t, *orig)) {
+      continue;
+    }
+    Tap* dup = k.Create<Tap>(container, orig->label(), name + "/drain", created.value(),
+                             orig->sink());
+    if (dup == nullptr) {
+      (void)k.Delete(created.value());
+      return Status::kErrExhausted;
+    }
+    dup->SetProportionalRate(orig->fraction_per_sec());
+    dup->EmbedCredentials(orig->actor_label(), orig->embedded_privileges());
+    if (!engine.Register(dup->id())) {
+      (void)k.Delete(created.value());
+      return Status::kErrInvalidArg;
+    }
+  }
+  return created;
+}
+
+Status ReserveTransferStrict(Kernel& k, TapEngine& engine, Thread& t, ObjectId from,
+                             ObjectId to, Quantity amount) {
+  const double from_drain = LockedDrainFraction(k, engine, t, from);
+  const double to_drain = LockedDrainFraction(k, engine, t, to);
+  if (to_drain + 1e-12 < from_drain) {
+    // Moving into a slower-draining reserve would dodge taxation ("transfer
+    // resources from a fast-draining reserve to a more slow-draining
+    // reserve" without permission).
+    return Status::kErrPermission;
+  }
+  return ReserveTransfer(k, t, from, to, amount);
+}
+
+Result<ObjectId> TapCreate(Kernel& k, TapEngine& engine, Thread& t, ObjectId container,
+                           ObjectId source, ObjectId sink, const Label& label, std::string name) {
+  CINDER_RETURN_IF_ERROR(CheckContainerWrite(k, t, container));
+  Reserve* src = k.LookupTyped<Reserve>(source);
+  Reserve* dst = k.LookupTyped<Reserve>(sink);
+  if (src == nullptr || dst == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (src->kind() != dst->kind() || source == sink) {
+    return Status::kErrInvalidArg;
+  }
+  // Since the tap will move resources between the endpoints on the creator's
+  // behalf, the creator must hold use rights on both at creation time.
+  if (!k.CanUse(t, *src) || !k.CanUse(t, *dst)) {
+    return Status::kErrPermission;
+  }
+  Tap* tap = k.Create<Tap>(container, label, std::move(name), source, sink);
+  if (tap == nullptr) {
+    return Status::kErrExhausted;
+  }
+  tap->EmbedCredentials(t.label(), t.privileges());
+  if (!engine.Register(tap->id())) {
+    (void)k.Delete(tap->id());
+    return Status::kErrInvalidArg;
+  }
+  return tap->id();
+}
+
+namespace {
+Result<Tap*> LookupTapForModify(Kernel& k, Thread& t, ObjectId tap_id) {
+  Tap* tap = k.LookupTyped<Tap>(tap_id);
+  if (tap == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanModify(t, *tap)) {
+    return Status::kErrPermission;
+  }
+  return tap;
+}
+}  // namespace
+
+Status TapSetConstantRate(Kernel& k, Thread& t, ObjectId tap, QuantityRate per_sec) {
+  if (per_sec < 0) {
+    return Status::kErrInvalidArg;
+  }
+  Result<Tap*> r = LookupTapForModify(k, t, tap);
+  if (!r.ok()) {
+    return r.status();
+  }
+  r.value()->SetConstantRate(per_sec);
+  return Status::kOk;
+}
+
+Status TapSetConstantPower(Kernel& k, Thread& t, ObjectId tap, Power p) {
+  return TapSetConstantRate(k, t, tap, RateFromPower(p));
+}
+
+Status TapSetProportionalRate(Kernel& k, Thread& t, ObjectId tap, double fraction_per_sec) {
+  if (fraction_per_sec < 0.0 || fraction_per_sec > 1e6) {
+    return Status::kErrInvalidArg;
+  }
+  Result<Tap*> r = LookupTapForModify(k, t, tap);
+  if (!r.ok()) {
+    return r.status();
+  }
+  r.value()->SetProportionalRate(fraction_per_sec);
+  return Status::kOk;
+}
+
+Status TapSetEnabled(Kernel& k, Thread& t, ObjectId tap, bool enabled) {
+  Result<Tap*> r = LookupTapForModify(k, t, tap);
+  if (!r.ok()) {
+    return r.status();
+  }
+  r.value()->set_enabled(enabled);
+  return Status::kOk;
+}
+
+Status TapDelete(Kernel& k, Thread& t, ObjectId tap) {
+  Result<Tap*> r = LookupTapForModify(k, t, tap);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return k.Delete(tap);
+}
+
+Status SelfSetActiveReserve(Kernel& k, Thread& t, ObjectId reserve) {
+  Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanUse(t, *r)) {
+    return Status::kErrPermission;
+  }
+  t.set_active_reserve(reserve);
+  return Status::kOk;
+}
+
+Status SelfAttachReserve(Kernel& k, Thread& t, ObjectId reserve) {
+  Reserve* r = k.LookupTyped<Reserve>(reserve);
+  if (r == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (!k.CanUse(t, *r)) {
+    return Status::kErrPermission;
+  }
+  t.AttachReserve(reserve);
+  return Status::kOk;
+}
+
+}  // namespace cinder

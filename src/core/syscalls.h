@@ -1,0 +1,97 @@
+// Syscall-style user API for reserves and taps, mirroring the paper's
+// Figure 5 (reserve_create, tap_create, tap_set_rate,
+// self_set_active_reserve) with the label checks of section 3.5:
+//
+//   * creating an object requires modify rights on the target container;
+//   * reading a reserve level requires observe;
+//   * consuming / transferring requires observe + modify (use);
+//   * creating a tap requires use rights on BOTH endpoint reserves — the
+//     creator's label and privileges are embedded into the tap so it can keep
+//     flowing after the creator exits;
+//   * changing a tap's rate requires modify on the tap (e.g. only the task
+//     manager may retune an application's foreground tap, section 5.4).
+//
+// All calls act on behalf of an explicit Thread, the accountable principal.
+#pragma once
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/core/reserve.h"
+#include "src/core/tap.h"
+#include "src/core/tap_engine.h"
+#include "src/histar/kernel.h"
+
+namespace cinder {
+
+// -- Reserves -----------------------------------------------------------------
+
+Result<ObjectId> ReserveCreate(Kernel& k, Thread& t, ObjectId container, const Label& label,
+                               std::string name, ResourceKind kind = ResourceKind::kEnergy);
+
+// Observe-only: the current level.
+Result<Quantity> ReserveLevel(Kernel& k, const Thread& t, ObjectId reserve);
+
+// Observe-only: cumulative consumption (the accounting interface applications
+// use for energy-aware behavior, e.g. the image viewer).
+Result<Quantity> ReserveConsumed(Kernel& k, const Thread& t, ObjectId reserve);
+
+// Explicit consumption from user space (netd uses this to debit for received
+// packets, possibly into debt if the reserve allows it).
+Status ReserveConsume(Kernel& k, Thread& t, ObjectId reserve, Quantity amount);
+
+// Reserve-to-reserve transfer; requires use rights on both (paper section 3.2
+// "provided it is permitted to modify both reserves").
+Status ReserveTransfer(Kernel& k, Thread& t, ObjectId from, ObjectId to, Quantity amount);
+
+// Subdivision: creates a new reserve in `container` seeded with `amount`
+// moved out of `from` ("an application granted 1000 mJ can subdivide its
+// reserve into an 800 mJ and a 200 mJ reserve", section 3.2).
+Result<ObjectId> ReserveSplit(Kernel& k, Thread& t, ObjectId from, Quantity amount,
+                              ObjectId container, const Label& label, std::string name);
+
+Status ReserveDelete(Kernel& k, Thread& t, ObjectId reserve);
+
+// -- Strict anti-hoarding (paper section 5.2.2's "more fundamental solution") --
+//
+// The shipped Cinder prevents hoarding with the global decay half-life; the
+// paper sketches a stricter alternative, implemented here for study:
+//
+//   * reserve_clone replaces reserve_create: the new reserve inherits a
+//     duplicate of every backward (drain) tap on the source that the caller
+//     lacks the privilege to remove, so taxation cannot be dodged by moving
+//     energy into a freshly minted reserve;
+//   * transfers from a fast-draining reserve to a slower-draining one are
+//     refused unless the caller could remove the source's extra drains.
+
+// Clones `source`'s drain profile onto a new empty reserve in `container`.
+Result<ObjectId> ReserveClone(Kernel& k, TapEngine& engine, Thread& t, ObjectId source,
+                              ObjectId container, const Label& label, std::string name);
+
+// Like ReserveTransfer, but enforces the drain-preservation rule: for every
+// backward proportional tap on `from` that `t` cannot modify, `to` must carry
+// a backward proportional tap of at least the same fraction.
+Status ReserveTransferStrict(Kernel& k, TapEngine& engine, Thread& t, ObjectId from,
+                             ObjectId to, Quantity amount);
+
+// -- Taps ---------------------------------------------------------------------
+
+Result<ObjectId> TapCreate(Kernel& k, TapEngine& engine, Thread& t, ObjectId container,
+                           ObjectId source, ObjectId sink, const Label& label, std::string name);
+
+Status TapSetConstantRate(Kernel& k, Thread& t, ObjectId tap, QuantityRate per_sec);
+Status TapSetConstantPower(Kernel& k, Thread& t, ObjectId tap, Power p);
+Status TapSetProportionalRate(Kernel& k, Thread& t, ObjectId tap, double fraction_per_sec);
+Status TapSetEnabled(Kernel& k, Thread& t, ObjectId tap, bool enabled);
+Status TapDelete(Kernel& k, Thread& t, ObjectId tap);
+
+// -- Threads ------------------------------------------------------------------
+
+// self_set_active_reserve: switch which reserve the thread bills to. Requires
+// use rights on the reserve (you are about to spend from it).
+Status SelfSetActiveReserve(Kernel& k, Thread& t, ObjectId reserve);
+
+// Attach an additional reserve the thread may draw from (delegation target).
+Status SelfAttachReserve(Kernel& k, Thread& t, ObjectId reserve);
+
+}  // namespace cinder

@@ -1,0 +1,86 @@
+// Taps: rate-limited resource transfer between two reserves (paper §3.3).
+//
+// A tap is "an efficient, special-purpose thread whose only job is to
+// transfer energy between reserves"; in practice the TapEngine executes all
+// tap flows in a periodic batch. Two rate forms exist:
+//
+//   * constant:     a fixed quantity per second (e.g. 750 mW in Figure 1);
+//   * proportional: a fraction of the *source* reserve per second. A
+//     "backward" proportional tap is simply a proportional tap whose source
+//     is the application reserve and whose sink is the reserve that feeds it,
+//     forcing unused energy to be shared (Figure 6b).
+//
+// A tap embeds the label and privileges of its creator, so it can keep moving
+// resources between reserves the manipulating thread itself could not touch
+// (paper section 3.5).
+#pragma once
+
+#include "src/base/units.h"
+#include "src/core/resource.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+enum class TapType : uint8_t {
+  kConstant,      // rate_per_sec quantity units per second.
+  kProportional,  // fraction_per_sec of the source level per second.
+};
+
+class Tap final : public KernelObject {
+ public:
+  Tap(ObjectId id, Label label, std::string name, ObjectId source, ObjectId sink)
+      : KernelObject(id, ObjectType::kTap, std::move(label), std::move(name)),
+        source_(source),
+        sink_(sink) {}
+
+  ObjectId source() const { return source_; }
+  ObjectId sink() const { return sink_; }
+
+  TapType tap_type() const { return type_; }
+  QuantityRate rate_per_sec() const { return rate_per_sec_; }
+  double fraction_per_sec() const { return fraction_per_sec_; }
+
+  void SetConstantRate(QuantityRate per_sec) {
+    type_ = TapType::kConstant;
+    rate_per_sec_ = per_sec < 0 ? 0 : per_sec;
+  }
+  void SetConstantPower(Power p) { SetConstantRate(RateFromPower(p)); }
+  void SetProportionalRate(double fraction_per_sec) {
+    type_ = TapType::kProportional;
+    fraction_per_sec_ = fraction_per_sec < 0 ? 0.0 : fraction_per_sec;
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool v) { enabled_ = v; }
+
+  // Privileges embedded at creation: the flow check uses these, not the
+  // current thread's.
+  const Label& actor_label() const { return actor_label_; }
+  const CategorySet& embedded_privileges() const { return embedded_privs_; }
+  void EmbedCredentials(Label actor, CategorySet privs) {
+    actor_label_ = std::move(actor);
+    embedded_privs_ = std::move(privs);
+  }
+
+  // -- Flow bookkeeping (TapEngine only) ---------------------------------------
+  Quantity total_transferred() const { return total_transferred_; }
+  void AddTransferred(Quantity q) { total_transferred_ += q; }
+  // Sub-unit remainder carried between batches so small rates still flow
+  // exactly (e.g. a 1 uW tap at a 10 ms batch moves 10 nJ per batch).
+  double carry() const { return carry_; }
+  void set_carry(double c) { carry_ = c; }
+
+ private:
+  ObjectId source_;
+  ObjectId sink_;
+  TapType type_ = TapType::kConstant;
+  QuantityRate rate_per_sec_ = 0;
+  double fraction_per_sec_ = 0.0;
+  bool enabled_ = true;
+  Label actor_label_{Level::k1};
+  CategorySet embedded_privs_;
+  Quantity total_transferred_ = 0;
+  double carry_ = 0.0;
+};
+
+}  // namespace cinder

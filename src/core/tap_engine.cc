@@ -1,0 +1,163 @@
+#include "src/core/tap_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/log.h"
+
+namespace cinder {
+
+TapEngine::TapEngine(Kernel* kernel, ObjectId battery_reserve)
+    : kernel_(kernel), battery_reserve_(battery_reserve) {
+  kernel_->AddObserver(this);
+}
+
+TapEngine::~TapEngine() { kernel_->RemoveObserver(this); }
+
+bool TapEngine::Register(ObjectId tap_id) {
+  Tap* tap = kernel_->LookupTyped<Tap>(tap_id);
+  if (tap == nullptr) {
+    return false;
+  }
+  Reserve* src = kernel_->LookupTyped<Reserve>(tap->source());
+  Reserve* dst = kernel_->LookupTyped<Reserve>(tap->sink());
+  if (src == nullptr || dst == nullptr || src->kind() != dst->kind() ||
+      tap->source() == tap->sink()) {
+    return false;
+  }
+  if (IsRegistered(tap_id)) {
+    return true;
+  }
+  taps_.push_back(tap_id);
+  std::sort(taps_.begin(), taps_.end());
+  return true;
+}
+
+bool TapEngine::IsRegistered(ObjectId tap_id) const {
+  return std::binary_search(taps_.begin(), taps_.end(), tap_id);
+}
+
+void TapEngine::RunBatch(Duration dt) {
+  if (!dt.IsPositive()) {
+    return;
+  }
+  // Two passes. Pass 1 computes each tap's demand for this batch; pass 2
+  // executes transfers in id (creation) order, giving taps that contend for
+  // the same constrained source a proportional share of whatever is
+  // available when they flow (e.g. two applications drawing from the shared
+  // 14 mW background reserve of Figure 7 each receive ~7 mW instead of the
+  // oldest tap winning every batch). Deposits made by earlier taps in the
+  // same batch are visible to later ones, so feed taps created before their
+  // consumers pipeline within a single batch. Fully deterministic.
+  struct Flow {
+    Tap* tap = nullptr;
+    Reserve* src = nullptr;
+    Reserve* dst = nullptr;
+    double want = 0.0;
+  };
+  std::vector<Flow> flows;
+  flows.reserve(taps_.size());
+  std::map<ObjectId, double> remaining_demand;
+  const double dt_s = dt.seconds_f();
+  for (ObjectId id : taps_) {
+    Tap* tap = kernel_->LookupTyped<Tap>(id);
+    if (tap == nullptr || !tap->enabled()) {
+      continue;
+    }
+    Reserve* src = kernel_->LookupTyped<Reserve>(tap->source());
+    Reserve* dst = kernel_->LookupTyped<Reserve>(tap->sink());
+    if (src == nullptr || dst == nullptr) {
+      continue;  // Endpoint deleted; tap is inert until deleted itself.
+    }
+    // The tap acts with its embedded credentials: it must be able to use
+    // (observe + modify) both endpoints.
+    if (!Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *src) ||
+        !Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *dst)) {
+      continue;
+    }
+    double want = tap->carry();
+    if (tap->tap_type() == TapType::kConstant) {
+      want += static_cast<double>(tap->rate_per_sec()) * dt_s;
+    } else {
+      const Quantity level = src->level() > 0 ? src->level() : 0;
+      want += static_cast<double>(level) * tap->fraction_per_sec() * dt_s;
+    }
+    flows.push_back({tap, src, dst, want});
+    remaining_demand[tap->source()] += want;
+  }
+  for (Flow& f : flows) {
+    double& demand = remaining_demand[f.tap->source()];
+    const double avail =
+        f.src->level() > 0 ? static_cast<double>(f.src->level()) : 0.0;
+    const double scale = (demand > avail && demand > 0.0) ? avail / demand : 1.0;
+    const double granted = f.want * scale;
+    demand -= f.want;
+    auto whole = static_cast<Quantity>(granted);
+    // The carry keeps only the sub-unit part of the granted flow; demand the
+    // source could not cover is dropped, not banked.
+    f.tap->set_carry(granted - static_cast<double>(whole));
+    if (whole <= 0) {
+      continue;
+    }
+    const Quantity moved = f.src->Withdraw(whole);
+    if (moved > 0) {
+      f.dst->Deposit(moved);
+      f.tap->AddTransferred(moved);
+      total_tap_flow_ += moved;
+    }
+  }
+  if (decay_.enabled) {
+    DecayReserves(dt);
+  }
+}
+
+void TapEngine::DecayReserves(Duration dt) {
+  Reserve* battery = kernel_->LookupTyped<Reserve>(battery_reserve_);
+  // Leak fraction for this interval: 1 - 2^(-dt / half_life).
+  const double frac = 1.0 - std::exp2(-dt.seconds_f() / decay_.half_life.seconds_f());
+  for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
+    if (id == battery_reserve_) {
+      continue;
+    }
+    Reserve* r = kernel_->LookupTyped<Reserve>(id);
+    if (r == nullptr || r->decay_exempt() || r->kind() != ResourceKind::kEnergy ||
+        r->level() <= 0) {
+      continue;
+    }
+    double want = decay_carry_[id] + static_cast<double>(r->level()) * frac;
+    auto whole = static_cast<Quantity>(want);
+    decay_carry_[id] = want - static_cast<double>(whole);
+    if (whole <= 0) {
+      continue;
+    }
+    const Quantity moved = r->Withdraw(whole);
+    if (moved > 0 && battery != nullptr) {
+      battery->Deposit(moved);
+    }
+    total_decay_flow_ += moved;
+  }
+}
+
+std::vector<ObjectId> TapEngine::TapsFromSource(ObjectId reserve) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : taps_) {
+    const Tap* tap = kernel_->LookupTyped<Tap>(id);
+    if (tap != nullptr && tap->source() == reserve) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void TapEngine::OnObjectDeleted(ObjectId id, ObjectType type) {
+  if (type == ObjectType::kTap) {
+    auto it = std::lower_bound(taps_.begin(), taps_.end(), id);
+    if (it != taps_.end() && *it == id) {
+      taps_.erase(it);
+    }
+  } else if (type == ObjectType::kReserve) {
+    decay_carry_.erase(id);
+  }
+}
+
+}  // namespace cinder

@@ -1,0 +1,51 @@
+// The physical battery. Devices drain true energy from it; the secure ARM9
+// only exposes the level as an integer percentage 0..100 (paper section 4.1),
+// which is all Cinder's user space may observe.
+#pragma once
+
+#include "src/base/units.h"
+
+namespace cinder {
+
+class Battery {
+ public:
+  explicit Battery(Energy capacity) : capacity_(capacity), remaining_(capacity) {}
+
+  Energy capacity() const { return capacity_; }
+  Energy remaining() const { return remaining_; }
+  Energy drained() const { return capacity_ - remaining_; }
+  bool IsEmpty() const { return remaining_.nj() <= 0; }
+
+  // Removes up to `e` from the battery; returns the amount actually drained
+  // (less than `e` only when the battery runs dry).
+  Energy Drain(Energy e) {
+    Energy take = MinEnergy(e, remaining_);
+    if (take.IsNegative()) {
+      take = Energy::Zero();
+    }
+    remaining_ -= take;
+    return take;
+  }
+
+  // Recharge (clamped at capacity).
+  void Charge(Energy e) {
+    remaining_ += e;
+    if (remaining_ > capacity_) {
+      remaining_ = capacity_;
+    }
+  }
+
+  // What the closed ARM9 firmware reports: an integer 0..100.
+  int LevelPercent() const {
+    if (capacity_.nj() <= 0) {
+      return 0;
+    }
+    return static_cast<int>(remaining_.nj() * 100 / capacity_.nj());
+  }
+
+ private:
+  Energy capacity_;
+  Energy remaining_;
+};
+
+}  // namespace cinder

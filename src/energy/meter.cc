@@ -1,0 +1,49 @@
+#include "src/energy/meter.h"
+
+#include <algorithm>
+
+namespace cinder {
+
+void EnergyMeter::Record(Component component, ObjectId principal, Energy e) {
+  total_ += e;
+  by_component_[static_cast<size_t>(component)] += e;
+  by_principal_[{principal, static_cast<int>(component)}] += e;
+}
+
+Energy EnergyMeter::ForPrincipal(ObjectId principal) const {
+  Energy sum;
+  for (const auto& [key, e] : by_principal_) {
+    if (key.first == principal) {
+      sum += e;
+    }
+  }
+  return sum;
+}
+
+Energy EnergyMeter::ForPrincipalComponent(ObjectId principal, Component c) const {
+  auto it = by_principal_.find({principal, static_cast<int>(c)});
+  return it == by_principal_.end() ? Energy::Zero() : it->second;
+}
+
+std::vector<ObjectId> EnergyMeter::Principals() const {
+  std::vector<ObjectId> out;
+  for (const auto& [key, e] : by_principal_) {
+    (void)e;
+    if (out.empty() || out.back() != key.first) {
+      out.push_back(key.first);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void EnergyMeter::Reset() {
+  total_ = Energy::Zero();
+  for (auto& e : by_component_) {
+    e = Energy::Zero();
+  }
+  by_principal_.clear();
+}
+
+}  // namespace cinder

@@ -1,0 +1,57 @@
+// Kernel-side energy accounting.
+//
+// Cinder estimates consumption from device states (it cannot measure), and
+// attributes every estimated nanojoule to (a) a hardware component and (b) a
+// responsible principal — the kernel object id of the thread or reserve that
+// caused the draw, or kSystemPrincipal for unattributable baseline power.
+// Applications read these estimates to build energy-aware features (paper
+// section 3.2 "reserves also provide accounting").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/energy/power_model.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+inline constexpr ObjectId kSystemPrincipal = 0;
+
+class EnergyMeter {
+ public:
+  EnergyMeter() = default;
+
+  // Records `e` of estimated consumption by `component` on behalf of
+  // `principal` (a thread or reserve id, or kSystemPrincipal).
+  void Record(Component component, ObjectId principal, Energy e);
+
+  // Total estimated energy since construction.
+  Energy Total() const { return total_; }
+
+  // Estimated energy broken down by component.
+  Energy ForComponent(Component c) const {
+    return by_component_[static_cast<size_t>(c)];
+  }
+
+  // Cumulative estimated energy attributed to a principal.
+  Energy ForPrincipal(ObjectId principal) const;
+
+  // Cumulative estimated energy attributed to a principal for one component.
+  Energy ForPrincipalComponent(ObjectId principal, Component c) const;
+
+  // All principals ever seen, in id order.
+  std::vector<ObjectId> Principals() const;
+
+  void Reset();
+
+ private:
+  Energy total_;
+  Energy by_component_[static_cast<size_t>(Component::kCount)];
+  // (principal, component) -> energy. std::map for deterministic iteration.
+  std::map<std::pair<ObjectId, int>, Energy> by_principal_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,28 @@
+#include "src/energy/power_model.h"
+
+namespace cinder {
+
+std::string_view ComponentName(Component c) {
+  switch (c) {
+    case Component::kBaseline:
+      return "baseline";
+    case Component::kCpu:
+      return "cpu";
+    case Component::kBacklight:
+      return "backlight";
+    case Component::kRadio:
+      return "radio";
+    case Component::kNetBytes:
+      return "net_bytes";
+    case Component::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const PowerModel& DefaultDreamModel() {
+  static const PowerModel kModel;
+  return kModel;
+}
+
+}  // namespace cinder

@@ -1,0 +1,52 @@
+// Ground-truth power measurement.
+//
+// Stands in for the Agilent E3644A DC power supply the paper used: it samples
+// the *true* instantaneous system draw (including stochastic radio jitter the
+// kernel's model cannot see) every 200 ms, mirroring the paper's measurement
+// setup ("we sampled both voltage and current approximately every 200 ms").
+#pragma once
+
+#include "src/base/time_series.h"
+#include "src/base/units.h"
+
+namespace cinder {
+
+// Anything that can report a true instantaneous draw (the Simulator).
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+  virtual Power TrueInstantaneousPower() const = 0;
+};
+
+class PowerSupplyProbe {
+ public:
+  explicit PowerSupplyProbe(const PowerSource* source,
+                            Duration sample_interval = Duration::Millis(200))
+      : source_(source), interval_(sample_interval), series_("true_power_w") {}
+
+  Duration sample_interval() const { return interval_; }
+
+  // Called by the simulator clock; samples when an interval boundary passes.
+  void OnTick(SimTime now) {
+    if (now >= next_sample_) {
+      series_.Append(now, source_->TrueInstantaneousPower().watts_f());
+      next_sample_ = now + interval_;
+    }
+  }
+
+  // The recorded trace, in watts.
+  const TimeSeries& trace() const { return series_; }
+
+  // Trapezoidal integral of the trace: measured joules.
+  double MeasuredJoules() const { return series_.IntegralOverTime(); }
+
+  void Reset() { series_ = TimeSeries("true_power_w"); }
+
+ private:
+  const PowerSource* source_;
+  Duration interval_;
+  SimTime next_sample_;
+  TimeSeries series_;
+};
+
+}  // namespace cinder

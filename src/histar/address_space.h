@@ -1,0 +1,41 @@
+// Address spaces: the protection domain a thread executes in. In the
+// simulator an address space is a set of mapped segments plus an identity
+// used for gate-call billing attribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class AddressSpace final : public KernelObject {
+ public:
+  AddressSpace(ObjectId id, Label label, std::string name)
+      : KernelObject(id, ObjectType::kAddressSpace, std::move(label), std::move(name)) {}
+
+  void MapSegment(ObjectId seg) { segments_.push_back(seg); }
+  void UnmapSegment(ObjectId seg) {
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i] == seg) {
+        segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  bool HasSegment(ObjectId seg) const {
+    for (ObjectId s : segments_) {
+      if (s == seg) {
+        return true;
+      }
+    }
+    return false;
+  }
+  const std::vector<ObjectId>& segments() const { return segments_; }
+
+ private:
+  std::vector<ObjectId> segments_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,49 @@
+// Containers give hierarchical control over object deallocation: an object
+// must be referenced by a container or it is garbage collected; deleting a
+// container deletes everything beneath it (like rm -r of a directory).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class Container final : public KernelObject {
+ public:
+  Container(ObjectId id, Label label, std::string name)
+      : KernelObject(id, ObjectType::kContainer, std::move(label), std::move(name)) {}
+
+  const std::vector<ObjectId>& children() const { return children_; }
+
+  void AddChild(ObjectId id) { children_.push_back(id); }
+  void RemoveChild(ObjectId id) {
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (children_[i] == id) {
+        children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  bool HasChild(ObjectId id) const {
+    for (ObjectId c : children_) {
+      if (c == id) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Optional cap on the number of direct children (0 = unlimited); used to
+  // bound runaway object creation in sandboxes.
+  size_t child_quota() const { return child_quota_; }
+  void set_child_quota(size_t q) { child_quota_ = q; }
+  bool QuotaExceeded() const { return child_quota_ != 0 && children_.size() >= child_quota_; }
+
+ private:
+  std::vector<ObjectId> children_;
+  size_t child_quota_ = 0;
+};
+
+}  // namespace cinder

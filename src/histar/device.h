@@ -1,0 +1,23 @@
+// Device kernel objects: handles through which user space reaches hardware.
+// The simulator registers one per modeled component (cpu, backlight, radio,
+// battery sensor). The `component` index links the handle to the power
+// model's component table.
+#pragma once
+
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class Device final : public KernelObject {
+ public:
+  Device(ObjectId id, Label label, std::string name, int component)
+      : KernelObject(id, ObjectType::kDevice, std::move(label), std::move(name)),
+        component_(component) {}
+
+  int component() const { return component_; }
+
+ private:
+  int component_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,66 @@
+// Gates: protected control transfer — the basis of all IPC in HiStar.
+//
+// Unlike message-passing IPC, a gate call moves the *calling thread itself*
+// into the server's address space. The thread keeps billing against its own
+// active reserve while executing server code, which is how Cinder attributes
+// the energy cost of system services (netd, rild, smdd) to the client that
+// caused the work (paper sections 5.5.1 and 7.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class Thread;
+
+// A simple typed message: an opcode plus integer arguments and a byte
+// payload. Services define their own opcode vocabularies.
+struct GateMessage {
+  uint64_t opcode = 0;
+  std::vector<int64_t> args;
+  std::vector<uint8_t> payload;
+};
+
+struct GateReply {
+  Status status = Status::kOk;
+  std::vector<int64_t> rets;
+  std::vector<uint8_t> payload;
+};
+
+// Handlers run synchronously on the calling thread (that is the semantics of
+// a gate: the caller's thread executes the server's code).
+using GateHandler = std::function<GateReply(Thread& caller, const GateMessage& msg)>;
+
+class Gate final : public KernelObject {
+ public:
+  Gate(ObjectId id, Label label, std::string name, ObjectId target_address_space)
+      : KernelObject(id, ObjectType::kGate, std::move(label), std::move(name)),
+        target_address_space_(target_address_space) {}
+
+  ObjectId target_address_space() const { return target_address_space_; }
+
+  // Privileges the gate grants to entering threads for the duration of the
+  // call (HiStar: the gate's clearance/ownership transfer).
+  const CategorySet& granted_privileges() const { return granted_privileges_; }
+  void GrantPrivilege(Category c) { granted_privileges_.Add(c); }
+
+  void set_handler(GateHandler h) { handler_ = std::move(h); }
+  bool has_handler() const { return static_cast<bool>(handler_); }
+  const GateHandler& handler() const { return handler_; }
+
+  int64_t call_count() const { return call_count_; }
+  void IncrementCallCount() { ++call_count_; }
+
+ private:
+  ObjectId target_address_space_;
+  CategorySet granted_privileges_;
+  GateHandler handler_;
+  int64_t call_count_ = 0;
+};
+
+}  // namespace cinder

@@ -1,0 +1,148 @@
+#include "src/histar/kernel.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace cinder {
+
+Kernel::Kernel() {
+  // The root container is the only object without a parent; it anchors the
+  // container hierarchy and, in Cinder, holds the battery root reserve.
+  ObjectId id = next_id_++;
+  auto root = std::make_unique<Container>(id, Label(Level::k1), "root");
+  objects_.emplace(id, std::move(root));
+  root_id_ = id;
+}
+
+Kernel::~Kernel() = default;
+
+KernelObject* Kernel::Lookup(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+const KernelObject* Kernel::Lookup(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Status Kernel::Delete(ObjectId id) {
+  KernelObject* obj = Lookup(id);
+  if (obj == nullptr) {
+    return Status::kErrNotFound;
+  }
+  if (id == root_id_) {
+    return Status::kErrInvalidArg;
+  }
+  // Unlink from the parent container first.
+  if (Container* parent = LookupTyped<Container>(obj->parent()); parent != nullptr) {
+    parent->RemoveChild(id);
+  }
+  std::vector<std::pair<ObjectId, ObjectType>> deleted;
+  DeleteRecursive(id, &deleted);
+  // Notify observers only after the whole subtree is gone so they never see a
+  // half-deleted hierarchy.
+  for (const auto& [did, dtype] : deleted) {
+    for (KernelObserver* obs : observers_) {
+      obs->OnObjectDeleted(did, dtype);
+    }
+  }
+  total_deleted_ += static_cast<int64_t>(deleted.size());
+  return Status::kOk;
+}
+
+void Kernel::DeleteRecursive(ObjectId id, std::vector<std::pair<ObjectId, ObjectType>>* deleted) {
+  KernelObject* obj = Lookup(id);
+  if (obj == nullptr) {
+    return;
+  }
+  if (obj->type() == ObjectType::kContainer) {
+    // Copy: children mutate as we delete.
+    std::vector<ObjectId> children = static_cast<Container*>(obj)->children();
+    for (ObjectId c : children) {
+      DeleteRecursive(c, deleted);
+    }
+  }
+  deleted->emplace_back(id, obj->type());
+  objects_.erase(id);
+}
+
+Status Kernel::Move(ObjectId id, ObjectId new_parent) {
+  KernelObject* obj = Lookup(id);
+  if (obj == nullptr) {
+    return Status::kErrNotFound;
+  }
+  Container* np = LookupTyped<Container>(new_parent);
+  if (np == nullptr) {
+    return Status::kErrWrongType;
+  }
+  if (np->QuotaExceeded()) {
+    return Status::kErrExhausted;
+  }
+  // Reject cycles: new_parent must not live beneath obj.
+  for (ObjectId cur = new_parent; cur != kInvalidObjectId;) {
+    if (cur == id) {
+      return Status::kErrInvalidArg;
+    }
+    const KernelObject* c = Lookup(cur);
+    cur = c == nullptr ? kInvalidObjectId : c->parent();
+  }
+  if (Container* old = LookupTyped<Container>(obj->parent()); old != nullptr) {
+    old->RemoveChild(id);
+  }
+  np->AddChild(id);
+  obj->set_parent(new_parent);
+  return Status::kOk;
+}
+
+std::vector<ObjectId> Kernel::ObjectsOfType(ObjectType t) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, obj] : objects_) {
+    if (obj->type() == t) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GateReply Kernel::GateCall(Thread& caller, ObjectId gate_id, const GateMessage& msg) {
+  Gate* gate = LookupTyped<Gate>(gate_id);
+  GateReply reply;
+  if (gate == nullptr) {
+    reply.status = Status::kErrNotFound;
+    return reply;
+  }
+  // Entering a gate requires the right to observe it (you must be able to
+  // name the entry point); the gate's own label guards who may call.
+  if (!CanObserve(caller, *gate)) {
+    reply.status = Status::kErrPermission;
+    return reply;
+  }
+  if (!gate->has_handler()) {
+    reply.status = Status::kErrBadState;
+    return reply;
+  }
+  gate->IncrementCallCount();
+
+  // The calling thread enters the server's address space with the gate's
+  // embedded privileges added — and crucially keeps its own active reserve,
+  // so the server's work is billed to the caller.
+  const ObjectId saved_domain = caller.current_domain();
+  const CategorySet saved_privs = caller.privileges();
+  caller.set_current_domain(gate->target_address_space());
+  *caller.mutable_privileges() = saved_privs.Union(gate->granted_privileges());
+
+  reply = gate->handler()(caller, msg);
+
+  *caller.mutable_privileges() = saved_privs;
+  caller.set_current_domain(saved_domain);
+  return reply;
+}
+
+void Kernel::RemoveObserver(KernelObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs), observers_.end());
+}
+
+}  // namespace cinder

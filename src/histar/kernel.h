@@ -1,0 +1,189 @@
+// The kernel object registry.
+//
+// Owns every kernel object, allocates ids, enforces container-rooted
+// lifetime (deleting a container cascades to everything beneath it), and
+// implements the label checks threads must pass to observe or modify an
+// object. Reserve and Tap (Cinder's additions, in src/core) are registered
+// here like any other object; the kernel is agnostic to their semantics.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/histar/address_space.h"
+#include "src/histar/container.h"
+#include "src/histar/device.h"
+#include "src/histar/gate.h"
+#include "src/histar/label.h"
+#include "src/histar/object.h"
+#include "src/histar/segment.h"
+#include "src/histar/thread.h"
+
+namespace cinder {
+
+// Observers learn about object deletion so that side tables (the tap engine's
+// flow list, the scheduler's run queue) can drop dangling references.
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+  virtual void OnObjectDeleted(ObjectId id, ObjectType type) = 0;
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -- Object lifecycle --------------------------------------------------------
+  // Creates an object of type T inside `parent` (must be a container).
+  // Returns nullptr if the parent does not exist, is not a container, or its
+  // child quota is exhausted.
+  template <typename T, typename... Args>
+  T* Create(ObjectId parent, Args&&... args) {
+    Container* c = LookupTyped<Container>(parent);
+    if (c == nullptr || c->QuotaExceeded()) {
+      return nullptr;
+    }
+    ObjectId id = next_id_++;
+    auto obj = std::make_unique<T>(id, std::forward<Args>(args)...);
+    T* raw = obj.get();
+    raw->set_parent(parent);
+    objects_.emplace(id, std::move(obj));
+    c->AddChild(id);
+    return raw;
+  }
+
+  // Deletes an object; containers cascade to all children (hierarchical GC).
+  Status Delete(ObjectId id);
+
+  // Reparents an object into another container.
+  Status Move(ObjectId id, ObjectId new_parent);
+
+  KernelObject* Lookup(ObjectId id);
+  const KernelObject* Lookup(ObjectId id) const;
+
+  template <typename T>
+  T* LookupTyped(ObjectId id) {
+    KernelObject* o = Lookup(id);
+    if (o == nullptr || o->type() != TypeOf<T>()) {
+      return nullptr;
+    }
+    return static_cast<T*>(o);
+  }
+  template <typename T>
+  const T* LookupTyped(ObjectId id) const {
+    const KernelObject* o = Lookup(id);
+    if (o == nullptr || o->type() != TypeOf<T>()) {
+      return nullptr;
+    }
+    return static_cast<const T*>(o);
+  }
+
+  ObjectId root_container_id() const { return root_id_; }
+  Container* root_container() { return LookupTyped<Container>(root_id_); }
+  size_t object_count() const { return objects_.size(); }
+
+  // All live object ids of a given type, in id order (deterministic).
+  std::vector<ObjectId> ObjectsOfType(ObjectType t) const;
+
+  // -- Labels & privileges -----------------------------------------------------
+  CategoryAllocator& categories() { return categories_; }
+
+  // Core checks expressed over an (actor label, privileges) pair. Threads use
+  // their own label/ownership; taps act with the label and privileges
+  // embedded at creation time (§3.5: "taps can have privileges embedded in
+  // them").
+  static bool CanObserveWith(const Label& actor, const CategorySet& privs,
+                             const KernelObject& obj) {
+    return Label::FlowsTo(obj.label(), actor, privs);
+  }
+  static bool CanModifyWith(const Label& actor, const CategorySet& privs,
+                            const KernelObject& obj) {
+    return Label::FlowsTo(actor, obj.label(), privs);
+  }
+  static bool CanUseWith(const Label& actor, const CategorySet& privs, const KernelObject& obj) {
+    return CanObserveWith(actor, privs, obj) && CanModifyWith(actor, privs, obj);
+  }
+
+  bool CanObserve(const Thread& t, const KernelObject& obj) const {
+    return CanObserveWith(t.label(), t.privileges(), obj);
+  }
+  bool CanModify(const Thread& t, const KernelObject& obj) const {
+    return CanModifyWith(t.label(), t.privileges(), obj);
+  }
+  // Reserve consumption and tap manipulation need both directions (§3.5).
+  bool CanUse(const Thread& t, const KernelObject& obj) const {
+    return CanObserve(t, obj) && CanModify(t, obj);
+  }
+
+  // -- Gate calls ---------------------------------------------------------------
+  // Runs `gate`'s handler on `caller`: the caller's current domain switches to
+  // the gate's address space and the gate's embedded privileges are granted
+  // for the duration; the caller's active reserve is untouched, so all
+  // resource consumption during the call bills to the caller.
+  GateReply GateCall(Thread& caller, ObjectId gate_id, const GateMessage& msg);
+
+  // -- Observers ------------------------------------------------------------------
+  void AddObserver(KernelObserver* obs) { observers_.push_back(obs); }
+  void RemoveObserver(KernelObserver* obs);
+
+  // Statistics.
+  int64_t total_created() const { return next_id_ - 2; }
+  int64_t total_deleted() const { return total_deleted_; }
+
+ private:
+  template <typename T>
+  static constexpr ObjectType TypeOf();
+
+  void DeleteRecursive(ObjectId id, std::vector<std::pair<ObjectId, ObjectType>>* deleted);
+
+  std::unordered_map<ObjectId, std::unique_ptr<KernelObject>> objects_;
+  ObjectId next_id_ = 1;
+  ObjectId root_id_ = kInvalidObjectId;
+  CategoryAllocator categories_;
+  std::vector<KernelObserver*> observers_;
+  int64_t total_deleted_ = 0;
+};
+
+template <>
+constexpr ObjectType Kernel::TypeOf<Container>() {
+  return ObjectType::kContainer;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<Segment>() {
+  return ObjectType::kSegment;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<Thread>() {
+  return ObjectType::kThread;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<AddressSpace>() {
+  return ObjectType::kAddressSpace;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<Gate>() {
+  return ObjectType::kGate;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<Device>() {
+  return ObjectType::kDevice;
+}
+
+class Reserve;
+class Tap;
+template <>
+constexpr ObjectType Kernel::TypeOf<Reserve>() {
+  return ObjectType::kReserve;
+}
+template <>
+constexpr ObjectType Kernel::TypeOf<Tap>() {
+  return ObjectType::kTap;
+}
+
+}  // namespace cinder

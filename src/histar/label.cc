@@ -1,0 +1,70 @@
+#include "src/histar/label.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace cinder {
+
+CategorySet CategorySet::Union(const CategorySet& other) const {
+  CategorySet out = *this;
+  out.cats_.insert(other.cats_.begin(), other.cats_.end());
+  return out;
+}
+
+bool CategorySet::IsSubsetOf(const CategorySet& other) const {
+  return std::includes(other.cats_.begin(), other.cats_.end(), cats_.begin(), cats_.end());
+}
+
+Level Label::Get(Category c) const {
+  auto it = exceptions_.find(c);
+  return it == exceptions_.end() ? default_ : it->second;
+}
+
+void Label::Set(Category c, Level l) {
+  if (l == default_) {
+    exceptions_.erase(c);
+  } else {
+    exceptions_[c] = l;
+  }
+}
+
+bool Label::FlowsTo(const Label& from, const Label& to, const CategorySet& privs) {
+  // Categories listed in either label need a per-category comparison; all
+  // other categories compare via the defaults.
+  if (static_cast<uint8_t>(from.default_) > static_cast<uint8_t>(to.default_)) {
+    // The default comparison fails for infinitely many categories; privileges
+    // are finite, so the flow cannot be allowed.
+    return false;
+  }
+  auto check = [&](Category c) {
+    if (privs.Contains(c)) {
+      return true;
+    }
+    return static_cast<uint8_t>(from.Get(c)) <= static_cast<uint8_t>(to.Get(c));
+  };
+  for (const auto& [c, l] : from.exceptions_) {
+    (void)l;
+    if (!check(c)) {
+      return false;
+    }
+  }
+  for (const auto& [c, l] : to.exceptions_) {
+    (void)l;
+    if (!check(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Label::ToString() const {
+  std::string out = "{";
+  for (const auto& [c, l] : exceptions_) {
+    out += StrFormat("c%llu=%d,", static_cast<unsigned long long>(c), static_cast<int>(l));
+  }
+  out += StrFormat("%d}", static_cast<int>(default_));
+  return out;
+}
+
+}  // namespace cinder

@@ -1,0 +1,89 @@
+// HiStar-style information-flow labels.
+//
+// A label maps 64-bit categories to levels 0..3 with a default level for all
+// unlisted categories (HiStar's {c1, c2, d} notation). Threads additionally
+// carry an ownership set of categories (HiStar's star levels): a thread that
+// owns a category bypasses that category's comparison entirely.
+//
+// Information may flow from label A to label B (A "flows to" B) iff for every
+// category c not owned by the acting thread, A(c) <= B(c).
+//
+//   observe(thread, obj): obj.label flows to thread.label  (taint check)
+//   modify(thread, obj):  thread.label flows to obj.label  (integrity check)
+//
+// Cinder reserves require BOTH observe and modify to consume energy (paper
+// section 3.5): failed consumption reveals the level (observe) and successful
+// consumption lowers it (modify).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cinder {
+
+using Category = uint64_t;
+
+// Levels form a total order 0 < 1 < 2 < 3. The conventional default is 1.
+enum class Level : uint8_t { k0 = 0, k1 = 1, k2 = 2, k3 = 3 };
+
+// A set of categories a thread owns (may declassify).
+class CategorySet {
+ public:
+  CategorySet() = default;
+
+  void Add(Category c) { cats_.insert(c); }
+  void Remove(Category c) { cats_.erase(c); }
+  bool Contains(Category c) const { return cats_.count(c) != 0; }
+  bool empty() const { return cats_.empty(); }
+  size_t size() const { return cats_.size(); }
+
+  // Set union, used when a gate grants its embedded privileges to the
+  // entering thread for the duration of the call.
+  CategorySet Union(const CategorySet& other) const;
+  bool IsSubsetOf(const CategorySet& other) const;
+
+  const std::set<Category>& cats() const { return cats_; }
+
+  bool operator==(const CategorySet&) const = default;
+
+ private:
+  std::set<Category> cats_;
+};
+
+class Label {
+ public:
+  explicit Label(Level default_level = Level::k1) : default_(default_level) {}
+
+  Level default_level() const { return default_; }
+  Level Get(Category c) const;
+  // Setting a category to the default level erases the exception.
+  void Set(Category c, Level l);
+
+  const std::map<Category, Level>& exceptions() const { return exceptions_; }
+
+  // True iff information at `from` may flow to `to`, given that the acting
+  // thread owns `privs` (owned categories are skipped).
+  static bool FlowsTo(const Label& from, const Label& to, const CategorySet& privs);
+
+  std::string ToString() const;
+
+  bool operator==(const Label&) const = default;
+
+ private:
+  Level default_;
+  std::map<Category, Level> exceptions_;  // Ordered: deterministic iteration.
+};
+
+// Allocates fresh categories. Owned by the Kernel; monotonically increasing
+// so ids are unique for the lifetime of a simulation.
+class CategoryAllocator {
+ public:
+  Category Allocate() { return next_++; }
+
+ private:
+  Category next_ = 1;
+};
+
+}  // namespace cinder

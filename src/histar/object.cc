@@ -1,0 +1,27 @@
+#include "src/histar/object.h"
+
+namespace cinder {
+
+std::string_view ObjectTypeName(ObjectType t) {
+  switch (t) {
+    case ObjectType::kContainer:
+      return "container";
+    case ObjectType::kSegment:
+      return "segment";
+    case ObjectType::kThread:
+      return "thread";
+    case ObjectType::kAddressSpace:
+      return "address_space";
+    case ObjectType::kGate:
+      return "gate";
+    case ObjectType::kDevice:
+      return "device";
+    case ObjectType::kReserve:
+      return "reserve";
+    case ObjectType::kTap:
+      return "tap";
+  }
+  return "unknown";
+}
+
+}  // namespace cinder

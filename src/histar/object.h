@@ -1,0 +1,59 @@
+// Kernel object base type.
+//
+// HiStar exposes six first-class object types (segments, threads, address
+// spaces, devices, containers, gates); Cinder adds reserves and taps. All are
+// protected by a security label and live in exactly one container (except the
+// root container), giving hierarchical deallocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/histar/label.h"
+
+namespace cinder {
+
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+enum class ObjectType : uint8_t {
+  kContainer,
+  kSegment,
+  kThread,
+  kAddressSpace,
+  kGate,
+  kDevice,
+  kReserve,
+  kTap,
+};
+
+std::string_view ObjectTypeName(ObjectType t);
+
+class KernelObject {
+ public:
+  KernelObject(ObjectId id, ObjectType type, Label label, std::string name)
+      : id_(id), type_(type), label_(std::move(label)), name_(std::move(name)) {}
+  virtual ~KernelObject() = default;
+
+  KernelObject(const KernelObject&) = delete;
+  KernelObject& operator=(const KernelObject&) = delete;
+
+  ObjectId id() const { return id_; }
+  ObjectType type() const { return type_; }
+  const Label& label() const { return label_; }
+  void set_label(Label l) { label_ = std::move(l); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  ObjectId parent() const { return parent_; }
+  void set_parent(ObjectId p) { parent_ = p; }
+
+ private:
+  ObjectId id_;
+  ObjectType type_;
+  Label label_;
+  std::string name_;
+  ObjectId parent_ = kInvalidObjectId;
+};
+
+}  // namespace cinder

@@ -1,0 +1,46 @@
+// Segments: labeled byte arrays (HiStar's memory objects). The simulator uses
+// them as message buffers and as the shared-memory window smdd exposes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+class Segment final : public KernelObject {
+ public:
+  Segment(ObjectId id, Label label, std::string name, size_t size)
+      : KernelObject(id, ObjectType::kSegment, std::move(label), std::move(name)),
+        bytes_(size, 0) {}
+
+  size_t size() const { return bytes_.size(); }
+  void Resize(size_t n) { bytes_.resize(n, 0); }
+
+  Status Write(size_t offset, const uint8_t* data, size_t len) {
+    if (offset + len > bytes_.size()) {
+      return Status::kErrOutOfRange;
+    }
+    std::copy(data, data + len, bytes_.begin() + static_cast<ptrdiff_t>(offset));
+    return Status::kOk;
+  }
+  Status Read(size_t offset, uint8_t* out, size_t len) const {
+    if (offset + len > bytes_.size()) {
+      return Status::kErrOutOfRange;
+    }
+    std::copy(bytes_.begin() + static_cast<ptrdiff_t>(offset),
+              bytes_.begin() + static_cast<ptrdiff_t>(offset + len), out);
+    return Status::kOk;
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,19 @@
+#include "src/histar/thread.h"
+
+namespace cinder {
+
+std::string_view ThreadStateName(ThreadState s) {
+  switch (s) {
+    case ThreadState::kRunnable:
+      return "runnable";
+    case ThreadState::kSleeping:
+      return "sleeping";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kHalted:
+      return "halted";
+  }
+  return "unknown";
+}
+
+}  // namespace cinder

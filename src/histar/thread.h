@@ -1,0 +1,123 @@
+// Threads: the schedulable principal. A thread carries a label, an ownership
+// (privilege) set, and — Cinder's addition — a list of attached energy
+// reserves. The energy-aware scheduler only runs a thread while at least one
+// attached reserve is non-empty (paper section 3.2).
+//
+// Threads have no behavior here; the simulator attaches a ThreadBody to each
+// thread id and drives it per scheduling quantum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+enum class ThreadState : uint8_t {
+  kRunnable,
+  kSleeping,  // Until wake_time.
+  kBlocked,   // On an explicit wakeup (e.g. netd pooling).
+  kHalted,    // Terminated; never runs again.
+};
+
+std::string_view ThreadStateName(ThreadState s);
+
+class Thread final : public KernelObject {
+ public:
+  Thread(ObjectId id, Label label, std::string name)
+      : KernelObject(id, ObjectType::kThread, std::move(label), std::move(name)) {}
+
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  SimTime wake_time() const { return wake_time_; }
+  void SleepUntil(SimTime t) {
+    state_ = ThreadState::kSleeping;
+    wake_time_ = t;
+  }
+  void Block() { state_ = ThreadState::kBlocked; }
+  void Wake() {
+    if (state_ == ThreadState::kSleeping || state_ == ThreadState::kBlocked) {
+      state_ = ThreadState::kRunnable;
+    }
+  }
+  void Halt() { state_ = ThreadState::kHalted; }
+
+  // -- Privileges ------------------------------------------------------------
+  const CategorySet& privileges() const { return privileges_; }
+  CategorySet* mutable_privileges() { return &privileges_; }
+  void GrantPrivilege(Category c) { privileges_.Add(c); }
+
+  // -- Reserves (Cinder) -----------------------------------------------------
+  // A thread may draw from multiple reserves; `active_reserve` is the one
+  // consumption is billed to (self_set_active_reserve in the paper's API).
+  const std::vector<ObjectId>& attached_reserves() const { return attached_reserves_; }
+  void AttachReserve(ObjectId r) {
+    if (!IsAttached(r)) {
+      attached_reserves_.push_back(r);
+    }
+  }
+  void DetachReserve(ObjectId r) {
+    for (size_t i = 0; i < attached_reserves_.size(); ++i) {
+      if (attached_reserves_[i] == r) {
+        attached_reserves_.erase(attached_reserves_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (active_reserve_ == r) {
+      active_reserve_ = attached_reserves_.empty() ? kInvalidObjectId : attached_reserves_[0];
+    }
+  }
+  bool IsAttached(ObjectId r) const {
+    for (ObjectId a : attached_reserves_) {
+      if (a == r) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  ObjectId active_reserve() const { return active_reserve_; }
+  void set_active_reserve(ObjectId r) {
+    AttachReserve(r);
+    active_reserve_ = r;
+  }
+
+  // -- Domains ---------------------------------------------------------------
+  // `home_address_space` is the thread's own process; `current_domain` is the
+  // address space whose code is executing (changes during gate calls; billing
+  // does NOT change — that is the point of gate-based accounting).
+  ObjectId home_address_space() const { return home_address_space_; }
+  void set_home_address_space(ObjectId as) {
+    home_address_space_ = as;
+    if (current_domain_ == kInvalidObjectId) {
+      current_domain_ = as;
+    }
+  }
+  ObjectId current_domain() const { return current_domain_; }
+  void set_current_domain(ObjectId as) { current_domain_ = as; }
+
+  // -- Accounting ------------------------------------------------------------
+  Energy cpu_energy_billed() const { return cpu_energy_billed_; }
+  void AddCpuEnergy(Energy e) { cpu_energy_billed_ += e; }
+  int64_t quanta_run() const { return quanta_run_; }
+  void IncrementQuantaRun() { ++quanta_run_; }
+  int64_t quanta_denied() const { return quanta_denied_; }
+  void IncrementQuantaDenied() { ++quanta_denied_; }
+
+ private:
+  ThreadState state_ = ThreadState::kRunnable;
+  SimTime wake_time_;
+  CategorySet privileges_;
+  std::vector<ObjectId> attached_reserves_;
+  ObjectId active_reserve_ = kInvalidObjectId;
+  ObjectId home_address_space_ = kInvalidObjectId;
+  ObjectId current_domain_ = kInvalidObjectId;
+  Energy cpu_energy_billed_;
+  int64_t quanta_run_ = 0;
+  int64_t quanta_denied_ = 0;
+};
+
+}  // namespace cinder

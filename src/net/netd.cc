@@ -1,0 +1,443 @@
+#include "src/net/netd.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace cinder {
+
+NetdService::NetdService(Simulator* sim, NetdMode mode) : sim_(sim), mode_(mode) {
+  Kernel& k = sim_->kernel();
+  proc_ = sim_->CreateProcess("netd");
+  // netd's main thread is a service loop; it has no body and never runs on
+  // its own — all work happens on caller threads via the gate (that is the
+  // accounting model).
+
+  Reserve* pool = k.Create<Reserve>(proc_.container, Label(Level::k1), "netd/pool",
+                                    ResourceKind::kEnergy);
+  pool->set_decay_exempt(true);
+  pool_reserve_ = pool->id();
+
+  Gate* gate = k.Create<Gate>(proc_.container, Label(Level::k1), "netd/socket",
+                              proc_.address_space);
+  gate->set_handler(
+      [this](Thread& caller, const GateMessage& msg) { return HandleGate(caller, msg); });
+  gate_ = gate->id();
+}
+
+Energy NetdService::ActivationEstimate() const {
+  return sim_->config().model.NominalActivationOverhead();
+}
+
+Energy NetdService::PoolThreshold() const {
+  const double thr = static_cast<double>(ActivationEstimate().nj()) * activation_margin_;
+  return Energy::Nanojoules(static_cast<int64_t>(thr));
+}
+
+Energy NetdService::SendCostEstimate(int64_t bytes) const {
+  const PowerModel& m = sim_->config().model;
+  Energy data = m.radio_energy_per_byte * bytes + m.radio_energy_per_packet;
+  const RadioDevice& radio = sim_->radio();
+  if (!radio.IsAwake()) {
+    return ActivationEstimate() + data;
+  }
+  // Active: transmitting now extends the active period by the idle time
+  // accrued since the last activity (section 5.5.2's pricing).
+  Duration idle_gap = sim_->now() - radio.last_activity();
+  if (idle_gap < Duration::Zero()) {
+    idle_gap = Duration::Zero();
+  }
+  return m.radio_active * idle_gap + data;
+}
+
+Status NetdService::Send(Thread& caller, int64_t bytes) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSend;
+  msg.args.push_back(bytes);
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status NetdService::Recv(Thread& caller, int64_t bytes) {
+  GateMessage msg;
+  msg.opcode = kNetdOpRecv;
+  msg.args.push_back(bytes);
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+GateReply NetdService::HandleGate(Thread& caller, const GateMessage& msg) {
+  GateReply reply;
+  switch (msg.opcode) {
+    case kNetdOpSend:
+    case kNetdOpRecv: {
+      if (msg.args.size() != 1 || msg.args[0] < 0) {
+        reply.status = Status::kErrInvalidArg;
+        return reply;
+      }
+      reply.status = msg.opcode == kNetdOpSend ? HandleSend(caller, msg.args[0])
+                                               : HandleRecv(caller, msg.args[0]);
+      return reply;
+    }
+    case kNetdOpSocketOpen: {
+      Result<SocketId> sock = sockets_.Open(caller.id(), sim_->now());
+      reply.status = sock.ok() ? Status::kOk : sock.status();
+      if (sock.ok()) {
+        reply.rets.push_back(sock.value());
+      }
+      return reply;
+    }
+    case kNetdOpSocketConnect: {
+      if (msg.args.size() != 3) {
+        reply.status = Status::kErrInvalidArg;
+        return reply;
+      }
+      reply.status = sockets_.Connect(msg.args[0], caller.id(),
+                                      static_cast<uint32_t>(msg.args[1]),
+                                      static_cast<uint16_t>(msg.args[2]));
+      return reply;
+    }
+    case kNetdOpSocketSend:
+    case kNetdOpSocketRecv: {
+      if (msg.args.size() != 2 || msg.args[1] < 0) {
+        reply.status = Status::kErrInvalidArg;
+        return reply;
+      }
+      Result<SocketState*> sock = sockets_.Lookup(msg.args[0], caller.id());
+      if (!sock.ok()) {
+        reply.status = sock.status();
+        return reply;
+      }
+      if (!sock.value()->connected) {
+        reply.status = Status::kErrBadState;
+        return reply;
+      }
+      const int64_t bytes = msg.args[1];
+      // Sockets inherit the raw data path's full energy semantics; flow
+      // accounting is updated only if the transfer actually happened.
+      reply.status = msg.opcode == kNetdOpSocketSend ? HandleSend(caller, bytes)
+                                                     : HandleRecv(caller, bytes);
+      if (reply.status == Status::kOk) {
+        // Re-look-up: pooling paths may have run arbitrary code meanwhile.
+        Result<SocketState*> again = sockets_.Lookup(msg.args[0], caller.id());
+        if (again.ok()) {
+          if (msg.opcode == kNetdOpSocketSend) {
+            again.value()->bytes_sent += bytes;
+            again.value()->packets_sent += 1;
+          } else {
+            again.value()->bytes_received += bytes;
+            again.value()->packets_received += 1;
+          }
+        }
+      }
+      return reply;
+    }
+    case kNetdOpSocketClose: {
+      if (msg.args.size() != 1) {
+        reply.status = Status::kErrInvalidArg;
+        return reply;
+      }
+      reply.status = sockets_.Close(msg.args[0], caller.id());
+      return reply;
+    }
+    default:
+      reply.status = Status::kErrInvalidArg;
+      return reply;
+  }
+}
+
+Result<SocketId> NetdService::SocketOpen(Thread& caller) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSocketOpen;
+  GateReply r = sim_->kernel().GateCall(caller, gate_, msg);
+  if (r.status != Status::kOk) {
+    return r.status;
+  }
+  return r.rets.empty() ? Result<SocketId>(Status::kErrBadState)
+                        : Result<SocketId>(r.rets[0]);
+}
+
+Status NetdService::SocketConnect(Thread& caller, SocketId sock, uint32_t host,
+                                  uint16_t port) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSocketConnect;
+  msg.args = {sock, static_cast<int64_t>(host), static_cast<int64_t>(port)};
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status NetdService::SocketSend(Thread& caller, SocketId sock, int64_t bytes) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSocketSend;
+  msg.args = {sock, bytes};
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status NetdService::SocketRecv(Thread& caller, SocketId sock, int64_t bytes) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSocketRecv;
+  msg.args = {sock, bytes};
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status NetdService::SocketClose(Thread& caller, SocketId sock) {
+  GateMessage msg;
+  msg.opcode = kNetdOpSocketClose;
+  msg.args = {sock};
+  return sim_->kernel().GateCall(caller, gate_, msg).status;
+}
+
+Status NetdService::BillCaller(Thread& caller, Energy cost, bool allow_partial_debt) {
+  Kernel& k = sim_->kernel();
+  Quantity remaining = ToQuantity(cost);
+  // Active reserve first, then other attached reserves.
+  std::vector<ObjectId> order;
+  if (caller.active_reserve() != kInvalidObjectId) {
+    order.push_back(caller.active_reserve());
+  }
+  for (ObjectId rid : caller.attached_reserves()) {
+    if (rid != caller.active_reserve()) {
+      order.push_back(rid);
+    }
+  }
+  Quantity total_available = 0;
+  for (ObjectId rid : order) {
+    if (const Reserve* r = k.LookupTyped<Reserve>(rid); r != nullptr) {
+      total_available += r->level() > 0 ? r->level() : 0;
+    }
+  }
+  if (total_available < remaining && !allow_partial_debt) {
+    return Status::kErrNoResource;
+  }
+  for (ObjectId rid : order) {
+    Reserve* r = k.LookupTyped<Reserve>(rid);
+    if (r == nullptr) {
+      continue;
+    }
+    Quantity got = r->ConsumeUpTo(remaining);
+    remaining -= got;
+    if (remaining == 0) {
+      break;
+    }
+  }
+  if (remaining > 0) {
+    // Debt path: force the balance onto the active reserve (after-the-fact
+    // billing of received data, section 5.5.2). The debt allowance applies to
+    // this call only.
+    Reserve* r = k.LookupTyped<Reserve>(caller.active_reserve());
+    if (r == nullptr) {
+      return Status::kErrNoResource;
+    }
+    const bool saved = r->allow_debt();
+    r->set_allow_debt(true);
+    (void)r->Consume(remaining);
+    r->set_allow_debt(saved);
+  }
+  total_billed_ += cost;
+  sim_->meter().Record(Component::kRadio, caller.id(), cost);
+  return Status::kOk;
+}
+
+Status NetdService::HandleSend(Thread& caller, int64_t bytes) {
+  const PowerModel& m = sim_->config().model;
+  Energy data_cost = m.radio_energy_per_byte * bytes + m.radio_energy_per_packet;
+
+  if (mode_ == NetdMode::kUnrestricted) {
+    // The baseline stack: transmit immediately, no billing, no coordination.
+    sim_->RadioTransmit(bytes);
+    ++sends_;
+    return Status::kOk;
+  }
+
+  if (sim_->radio().IsAwake()) {
+    Energy cost = SendCostEstimate(bytes);
+    Status s = BillCaller(caller, cost, /*allow_partial_debt=*/false);
+    if (s != Status::kOk) {
+      return s;
+    }
+    sim_->RadioTransmit(bytes);
+    ++sends_;
+    return Status::kOk;
+  }
+
+  // Radio asleep: someone must pay for an activation.
+  if (mode_ == NetdMode::kIndependent) {
+    Energy cost = ActivationEstimate() + data_cost;
+    Status s = BillCaller(caller, cost, /*allow_partial_debt=*/false);
+    if (s != Status::kOk) {
+      // Cannot afford alone: block until taps refill the reserve; a sweep
+      // tick will retry on our behalf by waking the thread periodically.
+      ++blocked_calls_;
+      waiters_.push_back(caller.id());
+      caller.Block();
+      PoolSweepTick();
+      return Status::kErrWouldBlock;
+    }
+    sim_->RadioTransmit(bytes);
+    ++sends_;
+    return Status::kOk;
+  }
+
+  // Cooperative mode. "If the sum of its own reserve and netd's reserve are
+  // not sufficient for the power on, the call blocks" — and conversely, a
+  // caller that (with the pool) covers the 125% threshold proceeds at once.
+  Reserve* pool = sim_->kernel().LookupTyped<Reserve>(pool_reserve_);
+  Quantity caller_avail = 0;
+  for (ObjectId rid : caller.attached_reserves()) {
+    const Reserve* r = sim_->kernel().LookupTyped<Reserve>(rid);
+    if (r != nullptr && r->level() > 0) {
+      caller_avail += r->level();
+    }
+  }
+  const Quantity pool_avail = pool != nullptr && pool->level() > 0 ? pool->level() : 0;
+  if (caller_avail + pool_avail >= ToQuantity(PoolThreshold())) {
+    // Debit one activation: the caller pays what it can, the pool covers the
+    // remainder; then the caller transmits over the fresh episode.
+    Quantity need = ToQuantity(ActivationEstimate());
+    // Keep a little CPU/data headroom in the caller's reserves; the pool
+    // covers whatever is left.
+    Quantity caller_spendable = caller_avail - ToQuantity(waiter_headroom_);
+    if (caller_spendable < 0) {
+      caller_spendable = 0;
+    }
+    const Quantity from_caller = need < caller_spendable ? need : caller_spendable;
+    Status s = BillCaller(caller, ToEnergy(from_caller), /*allow_partial_debt=*/false);
+    if (s != Status::kOk) {
+      return s;
+    }
+    need -= from_caller;
+    if (need > 0 && pool != nullptr) {
+      pool->ConsumeUpTo(need);
+    }
+    sim_->RadioTransmit(1);  // Wakeup.
+    ++pooled_activations_;
+    s = BillCaller(caller, data_cost, /*allow_partial_debt=*/false);
+    if (s != Status::kOk) {
+      return s;
+    }
+    sim_->RadioTransmit(bytes);
+    ++sends_;
+    return Status::kOk;
+  }
+  // Insufficient: block and contribute tap income until the pool fills.
+  ++blocked_calls_;
+  waiters_.push_back(caller.id());
+  caller.Block();
+  ContributeAndMaybeActivate();
+  if (std::find(waiters_.begin(), waiters_.end(), caller.id()) != waiters_.end()) {
+    PoolSweepTick();
+    return Status::kErrWouldBlock;
+  }
+  // Activation happened synchronously (another sweep pushed us over).
+  Status s = BillCaller(caller, data_cost, /*allow_partial_debt=*/false);
+  if (s != Status::kOk) {
+    return s;
+  }
+  sim_->RadioTransmit(bytes);
+  ++sends_;
+  return Status::kOk;
+}
+
+Status NetdService::HandleRecv(Thread& caller, int64_t bytes) {
+  // Data has already arrived — energy was already spent — so the receiver is
+  // debited after the fact, into debt if necessary.
+  const PowerModel& m = sim_->config().model;
+  Energy cost = m.radio_energy_per_byte * bytes + m.radio_energy_per_packet;
+  if (!sim_->radio().IsAwake()) {
+    // Incoming traffic woke the radio (paging/push); the receiver owns the
+    // whole activation, after the fact.
+    cost += ActivationEstimate();
+  }
+  sim_->RadioTransmit(bytes);  // Same data path truth model for rx and tx.
+  ++recvs_;
+  return BillCaller(caller, cost, /*allow_partial_debt=*/true);
+}
+
+void NetdService::ContributeAndMaybeActivate() {
+  Kernel& k = sim_->kernel();
+  Reserve* pool = k.LookupTyped<Reserve>(pool_reserve_);
+  if (pool == nullptr) {
+    return;
+  }
+  if (sim_->radio().IsAwake()) {
+    // Someone else already paid for an episode; ride it instead of debiting
+    // a fresh activation — waiters pay only extension + data on retry.
+    for (ObjectId tid : waiters_) {
+      if (Thread* t = k.LookupTyped<Thread>(tid); t != nullptr) {
+        t->Wake();
+      }
+    }
+    waiters_.clear();
+    return;
+  }
+  // Sweep each waiter's tap income into the pool ("contributes the energy
+  // acquired by its taps to the netd reserve"), leaving a small headroom so
+  // the waiter can still pay for CPU time and data once the radio is up.
+  const Quantity headroom = ToQuantity(waiter_headroom_);
+  for (ObjectId tid : waiters_) {
+    Thread* t = k.LookupTyped<Thread>(tid);
+    if (t == nullptr) {
+      continue;
+    }
+    for (ObjectId rid : t->attached_reserves()) {
+      Reserve* r = k.LookupTyped<Reserve>(rid);
+      if (r == nullptr || r->level() <= headroom) {
+        continue;
+      }
+      Quantity moved = r->Withdraw(r->level() - headroom);
+      pool->Deposit(moved);
+    }
+  }
+  if (pool->energy() < PoolThreshold()) {
+    return;
+  }
+  // Enough pooled: pay for the activation from the pool and bring the radio
+  // up with a 1-byte wakeup. The estimate is amortized over the waiters for
+  // accounting purposes.
+  Energy act = ActivationEstimate();
+  pool->ConsumeUpTo(ToQuantity(act));
+  if (!waiters_.empty()) {
+    Energy share = act / static_cast<int64_t>(waiters_.size());
+    for (ObjectId tid : waiters_) {
+      sim_->meter().Record(Component::kRadio, tid, share);
+    }
+  }
+  sim_->RadioTransmit(1);
+  ++pooled_activations_;
+  total_billed_ += act;
+  // Wake everyone; they retry their sends against the now-active radio.
+  for (ObjectId tid : waiters_) {
+    if (Thread* t = k.LookupTyped<Thread>(tid); t != nullptr) {
+      t->Wake();
+    }
+  }
+  waiters_.clear();
+}
+
+void NetdService::PoolSweepTick() {
+  if (sweep_scheduled_) {
+    return;
+  }
+  sweep_scheduled_ = true;
+  sim_->ScheduleAfter(Duration::Seconds(1), [this]() {
+    sweep_scheduled_ = false;
+    if (waiters_.empty()) {
+      return;
+    }
+    if (mode_ == NetdMode::kCooperative) {
+      ContributeAndMaybeActivate();
+    } else {
+      // Independent mode: just wake waiters so they retry their sends.
+      Kernel& k = sim_->kernel();
+      std::vector<ObjectId> ws = waiters_;
+      waiters_.clear();
+      for (ObjectId tid : ws) {
+        if (Thread* t = k.LookupTyped<Thread>(tid); t != nullptr) {
+          t->Wake();
+        }
+      }
+    }
+    if (!waiters_.empty()) {
+      PoolSweepTick();
+    }
+  });
+}
+
+}  // namespace cinder

@@ -1,0 +1,140 @@
+// netd: Cinder's user-space network stack (paper section 5.5).
+//
+// netd exports its socket interface through a HiStar gate, so a client
+// thread executes netd's code in netd's address space while billing its own
+// active reserve — the gate-based accounting that Linux's message-passing
+// IPC cannot replicate (sections 5.5.1 and 7.1).
+//
+// Radio cost model (section 5.5.2):
+//   * radio asleep  -> the caller must cover a full activation. In
+//     cooperative mode, callers that cannot afford it alone block and
+//     contribute their tap income to a shared pooling reserve; when the pool
+//     reaches 125% of the activation estimate the radio is brought up once
+//     and every waiter proceeds together.
+//   * radio awake   -> sending now extends the active period by the time
+//     since the last activity, so the price is radio_active_power x
+//     (now - last_activity), plus the marginal per-byte/packet cost.
+//   * incoming packets are billed after the fact: the receiving thread's
+//     reserve is debited, possibly into debt (reserves opt in via
+//     allow_debt).
+//
+// The pooling reserve is decay-exempt: netd is trusted not to hoard and by
+// construction only ever holds about one activation's worth of energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/reserve.h"
+#include "src/histar/gate.h"
+#include "src/net/socket.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+
+enum class NetdMode : uint8_t {
+  // No energy enforcement at all — the paper's "energy-unrestricted network
+  // stack" baseline (Figure 13a).
+  kUnrestricted,
+  // Each caller must afford the full activation from its own reserves;
+  // blocks (no pooling) until it can. Ablation between the two extremes.
+  kIndependent,
+  // Pooled activation via the shared netd reserve (Figures 13b and 14).
+  kCooperative,
+};
+
+// Gate opcodes exported by netd.
+inline constexpr uint64_t kNetdOpSend = 1;
+inline constexpr uint64_t kNetdOpRecv = 2;
+// libOS socket surface (Figure 16).
+inline constexpr uint64_t kNetdOpSocketOpen = 3;
+inline constexpr uint64_t kNetdOpSocketConnect = 4;
+inline constexpr uint64_t kNetdOpSocketSend = 5;
+inline constexpr uint64_t kNetdOpSocketRecv = 6;
+inline constexpr uint64_t kNetdOpSocketClose = 7;
+
+class NetdService {
+ public:
+  NetdService(Simulator* sim, NetdMode mode);
+
+  NetdMode mode() const { return mode_; }
+  ObjectId gate_id() const { return gate_; }
+  ObjectId pool_reserve_id() const { return pool_reserve_; }
+  Reserve* pool_reserve() { return sim_->kernel().LookupTyped<Reserve>(pool_reserve_); }
+
+  // Fraction of the activation estimate that must be pooled before powering
+  // the radio (1.25 in the paper: "netd requires 125% of this level").
+  double activation_margin() const { return activation_margin_; }
+  void set_activation_margin(double m) { activation_margin_ = m; }
+
+  // Energy left in each waiter's reserve when its income is swept into the
+  // pool, so the waiter can still pay for CPU and data after wakeup.
+  Energy waiter_headroom() const { return waiter_headroom_; }
+  void set_waiter_headroom(Energy e) { waiter_headroom_ = e; }
+
+  // Kernel-model estimates (no jitter — the OS cannot see it).
+  Energy ActivationEstimate() const;
+  Energy PoolThreshold() const;
+  // Cost of transmitting right now: activation if asleep, otherwise the
+  // active-period extension plus marginal data cost.
+  Energy SendCostEstimate(int64_t bytes) const;
+
+  // Convenience wrappers that perform the gate call on behalf of `caller`.
+  // Send returns kErrWouldBlock when the caller must wait for pooling; the
+  // calling thread has been blocked and will be woken when the radio is up
+  // (retry the send then).
+  Status Send(Thread& caller, int64_t bytes);
+  Status Recv(Thread& caller, int64_t bytes);
+
+  // -- libOS sockets (Figure 16) ---------------------------------------------------
+  // Same energy semantics as Send/Recv, with per-flow accounting and
+  // descriptor-style ownership checks.
+  Result<SocketId> SocketOpen(Thread& caller);
+  Status SocketConnect(Thread& caller, SocketId sock, uint32_t host, uint16_t port);
+  Status SocketSend(Thread& caller, SocketId sock, int64_t bytes);
+  Status SocketRecv(Thread& caller, SocketId sock, int64_t bytes);
+  Status SocketClose(Thread& caller, SocketId sock);
+  SocketTable& sockets() { return sockets_; }
+
+  // -- Statistics -----------------------------------------------------------------
+  int64_t sends() const { return sends_; }
+  int64_t recvs() const { return recvs_; }
+  int64_t blocked_calls() const { return blocked_calls_; }
+  int64_t pooled_activations() const { return pooled_activations_; }
+  Energy total_billed() const { return total_billed_; }
+
+ private:
+  GateReply HandleGate(Thread& caller, const GateMessage& msg);
+  Status HandleSend(Thread& caller, int64_t bytes);
+  Status HandleRecv(Thread& caller, int64_t bytes);
+
+  // Bills `cost` to the caller's active reserve (falling back to attached
+  // reserves); records the estimate against the caller.
+  Status BillCaller(Thread& caller, Energy cost, bool allow_partial_debt);
+
+  // Cooperative path: sweep waiter reserves into the pool; if the threshold
+  // is met, debit the pool, power the radio, wake everyone.
+  void ContributeAndMaybeActivate();
+  void PoolSweepTick();
+
+  Simulator* sim_;
+  NetdMode mode_;
+  double activation_margin_ = 1.25;
+  Energy waiter_headroom_ = Energy::Millijoules(700);
+
+  Simulator::Process proc_;
+  ObjectId gate_ = kInvalidObjectId;
+  ObjectId pool_reserve_ = kInvalidObjectId;
+  SocketTable sockets_;
+  std::vector<ObjectId> waiters_;
+  bool sweep_scheduled_ = false;
+
+  int64_t sends_ = 0;
+  int64_t recvs_ = 0;
+  int64_t blocked_calls_ = 0;
+  int64_t pooled_activations_ = 0;
+  Energy total_billed_;
+};
+
+}  // namespace cinder

@@ -1,0 +1,75 @@
+#include "src/net/socket.h"
+
+namespace cinder {
+
+Result<SocketId> SocketTable::Open(ObjectId owner, SimTime now) {
+  if (per_owner_limit_ != 0 && OwnedBy(owner) >= per_owner_limit_) {
+    return Status::kErrExhausted;
+  }
+  SocketState s;
+  s.id = next_id_++;
+  s.owner_thread = owner;
+  s.opened_at = now;
+  sockets_.emplace(s.id, s);
+  return s.id;
+}
+
+Status SocketTable::Connect(SocketId id, ObjectId owner, uint32_t host, uint16_t port) {
+  Result<SocketState*> s = Lookup(id, owner);
+  if (!s.ok()) {
+    return s.status();
+  }
+  if (s.value()->connected) {
+    return Status::kErrBadState;
+  }
+  s.value()->remote_host = host;
+  s.value()->remote_port = port;
+  s.value()->connected = true;
+  return Status::kOk;
+}
+
+Status SocketTable::Close(SocketId id, ObjectId owner) {
+  Result<SocketState*> s = Lookup(id, owner);
+  if (!s.ok()) {
+    return s.status();
+  }
+  sockets_.erase(id);
+  return Status::kOk;
+}
+
+int SocketTable::CloseAllFor(ObjectId owner) {
+  int closed = 0;
+  for (auto it = sockets_.begin(); it != sockets_.end();) {
+    if (it->second.owner_thread == owner) {
+      it = sockets_.erase(it);
+      ++closed;
+    } else {
+      ++it;
+    }
+  }
+  return closed;
+}
+
+Result<SocketState*> SocketTable::Lookup(SocketId id, ObjectId owner) {
+  auto it = sockets_.find(id);
+  if (it == sockets_.end()) {
+    return Status::kErrNotFound;
+  }
+  if (it->second.owner_thread != owner) {
+    return Status::kErrPermission;
+  }
+  return &it->second;
+}
+
+size_t SocketTable::OwnedBy(ObjectId owner) const {
+  size_t n = 0;
+  for (const auto& [id, s] : sockets_) {
+    (void)id;
+    if (s.owner_thread == owner) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace cinder

@@ -1,0 +1,64 @@
+// The libOS socket layer netd exports through its gate (paper Figure 16:
+// "netd, for example, implements gates for libOS TCP/IP sockets").
+//
+// Sockets are per-client flow handles with byte accounting. All data-path
+// energy semantics (activation pooling, extension pricing, debt for received
+// data) are inherited from NetdService — a socket send is a netd send with a
+// flow attached, so the resource-consumption story is identical whether an
+// application uses raw sends or sockets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/histar/object.h"
+
+namespace cinder {
+
+using SocketId = int64_t;
+inline constexpr SocketId kInvalidSocket = -1;
+
+struct SocketState {
+  SocketId id = kInvalidSocket;
+  ObjectId owner_thread = kInvalidObjectId;
+  uint32_t remote_host = 0;  // IPv4, host order.
+  uint16_t remote_port = 0;
+  bool connected = false;
+  SimTime opened_at;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t packets_sent = 0;
+  int64_t packets_received = 0;
+};
+
+// Bookkeeping for netd's open flows. Pure state; NetdService drives it.
+class SocketTable {
+ public:
+  SocketTable() = default;
+
+  // Per-process socket quota (0 = unlimited), like a file-descriptor limit.
+  void set_per_owner_limit(size_t n) { per_owner_limit_ = n; }
+
+  Result<SocketId> Open(ObjectId owner, SimTime now);
+  Status Connect(SocketId id, ObjectId owner, uint32_t host, uint16_t port);
+  Status Close(SocketId id, ObjectId owner);
+  // Closes everything a (dead) owner holds; returns how many were closed.
+  int CloseAllFor(ObjectId owner);
+
+  // Validated lookup: the socket must exist and belong to `owner` — sockets
+  // are capabilities of the opening process, like file descriptors.
+  Result<SocketState*> Lookup(SocketId id, ObjectId owner);
+
+  size_t open_count() const { return sockets_.size(); }
+  size_t OwnedBy(ObjectId owner) const;
+  int64_t total_opened() const { return next_id_ - 1; }
+
+ private:
+  std::map<SocketId, SocketState> sockets_;
+  SocketId next_id_ = 1;
+  size_t per_owner_limit_ = 0;
+};
+
+}  // namespace cinder

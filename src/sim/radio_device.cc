@@ -1,0 +1,69 @@
+#include "src/sim/radio_device.h"
+
+namespace cinder {
+
+Energy RadioDevice::OnPacket(SimTime now, int64_t bytes) {
+  if (state_ == RadioState::kSleep) {
+    BeginActivation(now);
+  }
+  ExtendActivity(now);
+  total_bytes_ += bytes;
+  total_packets_ += 1;
+  return model_->radio_energy_per_byte * bytes + model_->radio_energy_per_packet;
+}
+
+void RadioDevice::BeginActivation(SimTime now) {
+  state_ = RadioState::kRamp;
+  ++activation_count_;
+  // Jitter the ramp: the measured episode overhead varied 8.8-11.9 J around
+  // a 9.5 J mean, with unpredictable outliers where the ARM9 lingered awake.
+  const double jitter =
+      rng_->ClampedGaussian(1.0, model_->activation_jitter_stddev, 0.55, 1.75);
+  ramp_extra_ = Power::Microwatts(
+      static_cast<int64_t>(static_cast<double>(model_->radio_ramp_extra.uw()) * jitter));
+  ramp_len_ = model_->radio_ramp;
+  ramp_end_ = now + ramp_len_;
+  if (rng_->Bernoulli(model_->activation_outlier_prob)) {
+    timeout_extra_ = model_->activation_outlier_extra;
+  } else {
+    timeout_extra_ = Duration::Zero();
+  }
+}
+
+void RadioDevice::ExtendActivity(SimTime now) {
+  // Activity during the ramp still counts from the ramp's end: the data moves
+  // once the radio is fully up.
+  last_activity_ = now > ramp_end_ ? now : ramp_end_;
+  sleep_deadline_ = last_activity_ + model_->radio_idle_timeout + timeout_extra_;
+}
+
+void RadioDevice::Tick(SimTime now) {
+  switch (state_) {
+    case RadioState::kSleep:
+      break;
+    case RadioState::kRamp:
+      if (now >= ramp_end_) {
+        state_ = RadioState::kActive;
+      }
+      break;
+    case RadioState::kActive:
+      if (now >= sleep_deadline_) {
+        state_ = RadioState::kSleep;
+      }
+      break;
+  }
+}
+
+Power RadioDevice::ExtraPower() const {
+  switch (state_) {
+    case RadioState::kSleep:
+      return Power::Zero();
+    case RadioState::kRamp:
+      return model_->radio_active + ramp_extra_;
+    case RadioState::kActive:
+      return model_->radio_active;
+  }
+  return Power::Zero();
+}
+
+}  // namespace cinder

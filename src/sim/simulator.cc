@@ -1,0 +1,193 @@
+#include "src/sim/simulator.h"
+
+#include "src/base/log.h"
+
+namespace cinder {
+
+Simulator::Simulator(SimConfig config)
+    : config_(config),
+      battery_(config.model.battery_capacity),
+      rng_(config.seed),
+      radio_(&config_.model, &rng_),
+      probe_(this, config.probe_interval) {
+  // The battery root reserve: the root of the resource consumption graph.
+  // Decay-exempt (leaks flow INTO it) and debt-free.
+  Reserve* root_reserve = kernel_.Create<Reserve>(kernel_.root_container_id(), Label(Level::k1),
+                                                  "battery", ResourceKind::kEnergy);
+  root_reserve->set_decay_exempt(true);
+  root_reserve->Deposit(ToQuantity(config_.model.battery_capacity));
+  battery_reserve_ = root_reserve->id();
+
+  tap_engine_ = std::make_unique<TapEngine>(&kernel_, battery_reserve_);
+  tap_engine_->decay().enabled = config_.decay_enabled;
+  tap_engine_->decay().half_life = config_.decay_half_life;
+  scheduler_ = std::make_unique<EnergyAwareScheduler>(&kernel_);
+
+  // The boot thread: a convenience principal for setup syscalls. It draws
+  // from the battery reserve directly and is never scheduled (no body).
+  Thread* boot = kernel_.Create<Thread>(kernel_.root_container_id(), Label(Level::k1), "boot");
+  boot->set_active_reserve(battery_reserve_);
+  boot_thread_ = boot->id();
+
+  next_tap_batch_ = now_ + config_.tap_batch;
+}
+
+Simulator::~Simulator() = default;
+
+Simulator::Process Simulator::CreateProcess(const std::string& name, ObjectId parent,
+                                            const Label& label) {
+  if (parent == kInvalidObjectId) {
+    parent = kernel_.root_container_id();
+  }
+  Process p;
+  Container* c = kernel_.Create<Container>(parent, label, name);
+  p.container = c->id();
+  AddressSpace* as = kernel_.Create<AddressSpace>(p.container, label, name + "/as");
+  p.address_space = as->id();
+  Thread* t = kernel_.Create<Thread>(p.container, label, name + "/main");
+  t->set_home_address_space(p.address_space);
+  p.thread = t->id();
+  scheduler_->AddThread(p.thread);
+  return p;
+}
+
+ObjectId Simulator::CreateThreadIn(const Process& proc, const std::string& name,
+                                   const Label& label) {
+  Thread* t = kernel_.Create<Thread>(proc.container, label, name);
+  t->set_home_address_space(proc.address_space);
+  scheduler_->AddThread(t->id());
+  return t->id();
+}
+
+void Simulator::AttachBody(ObjectId thread, std::unique_ptr<ThreadBody> body) {
+  bodies_[thread] = std::move(body);
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  callbacks_.push(TimedCallback{t, callback_seq_++, std::move(fn)});
+}
+
+void Simulator::RunTimedCallbacks() {
+  while (!callbacks_.empty() && callbacks_.top().when <= now_) {
+    auto fn = callbacks_.top().fn;
+    callbacks_.pop();
+    fn();
+  }
+}
+
+void Simulator::RadioTransmit(int64_t bytes) {
+  pending_data_energy_ += radio_.OnPacket(now_, bytes);
+}
+
+void Simulator::Step() {
+  const Duration q = config_.quantum;
+
+  RunTimedCallbacks();
+
+  // Tap flow batches (and the global decay) run on their own period.
+  if (now_ >= next_tap_batch_) {
+    tap_engine_->RunBatch(config_.tap_batch);
+    next_tap_batch_ = now_ + config_.tap_batch;
+  }
+
+  // Energy-aware scheduling: one quantum for the chosen thread. Threads
+  // without an attached body are pure principals (service anchors, setup
+  // helpers); they never occupy CPU quanta.
+  ObjectId tid = scheduler_->PickNext(
+      now_, [this](ObjectId id) { return bodies_.find(id) != bodies_.end(); });
+  Thread* t = tid != kInvalidObjectId ? kernel_.LookupTyped<Thread>(tid) : nullptr;
+  auto body_it = bodies_.find(tid);
+  const bool runs = t != nullptr && body_it != bodies_.end();
+  cpu_busy_last_quantum_ = runs;
+  last_run_thread_ = runs ? tid : kInvalidObjectId;
+  if (runs) {
+    QuantumContext ctx{*this, kernel_, *t, now_, q};
+    body_it->second->OnQuantum(ctx);
+    t->IncrementQuantaRun();
+    // Bill the quantum even if the body blocked midway: the CPU was granted.
+    ChargeQuantum(tid);
+  }
+
+  // Devices advance and the battery drains true energy.
+  radio_.Tick(now_);
+  Power true_power = TrueInstantaneousPower();
+  Energy true_draw = true_power * q + pending_data_energy_;
+  if (pending_data_energy_.IsPositive()) {
+    radio_active_energy_ += pending_data_energy_;
+  }
+  pending_data_energy_ = Energy::Zero();
+  battery_.Drain(true_draw);
+  if (radio_.IsAwake()) {
+    radio_.AccumulateAwake(q);
+    radio_active_energy_ += true_power * q;
+  }
+
+  // Kernel-side estimates for platform components (billed to the system; the
+  // CPU estimate was billed per-thread in ChargeQuantum and netd bills radio
+  // usage to callers).
+  meter_.Record(Component::kBaseline, kSystemPrincipal, config_.model.idle_baseline * q);
+  if (backlight_on_) {
+    meter_.Record(Component::kBacklight, kSystemPrincipal, config_.model.backlight * q);
+  }
+
+  // The battery reserve (rights graph root) tracks baseline drain so the
+  // spendable-rights view stays aligned with physical reality.
+  if (Reserve* root = battery_reserve(); root != nullptr) {
+    root->ConsumeUpTo(ToQuantity(config_.model.idle_baseline * q));
+  }
+
+  probe_.OnTick(now_);
+  now_ += q;
+}
+
+void Simulator::ChargeQuantum(ObjectId thread_id) {
+  Thread* t = kernel_.LookupTyped<Thread>(thread_id);
+  if (t == nullptr) {
+    return;
+  }
+  const Duration q = config_.quantum;
+  // The estimate assumes the worst-case instruction mix (the Dream has no
+  // counters to tell), so estimated == worst case; the true draw honors the
+  // body's actual mix.
+  Energy estimate = config_.model.cpu_active * q;
+  auto it = bodies_.find(thread_id);
+  const bool memory_heavy = it != bodies_.end() && it->second->memory_intensive();
+  if (memory_heavy) {
+    estimate = Energy::Nanojoules(
+        static_cast<int64_t>(static_cast<double>(estimate.nj()) *
+                             (1.0 + config_.model.cpu_memory_premium)));
+  }
+  Energy billed = scheduler_->ChargeCpu(*t, estimate);
+  meter_.Record(Component::kCpu, thread_id, billed);
+}
+
+Power Simulator::TrueInstantaneousPower() const {
+  Power p = config_.model.idle_baseline;
+  if (backlight_on_) {
+    p += config_.model.backlight;
+  }
+  if (cpu_busy_last_quantum_) {
+    Power cpu = config_.model.cpu_active;
+    auto it = bodies_.find(last_run_thread_);
+    if (it != bodies_.end() && it->second->memory_intensive()) {
+      cpu = Power::Microwatts(static_cast<int64_t>(
+          static_cast<double>(cpu.uw()) * (1.0 + config_.model.cpu_memory_premium)));
+    }
+    p += cpu;
+  }
+  p += radio_.ExtraPower();
+  for (const auto& source : extra_power_sources_) {
+    p += source();
+  }
+  return p;
+}
+
+void Simulator::Run(Duration d) { RunUntil(now_ + d); }
+
+void Simulator::RunUntil(SimTime t) {
+  while (now_ < t) {
+    Step();
+  }
+}
+
+}  // namespace cinder

@@ -1,0 +1,60 @@
+// Application behavior interface.
+//
+// Kernel threads carry no code in the simulator; instead each thread id may
+// have a ThreadBody attached. When the energy-aware scheduler grants the
+// thread a quantum, the simulator invokes OnQuantum exactly once; the body
+// performs syscalls (reserve ops, gate calls, sleeps) through the context.
+// The thread is charged one quantum of CPU energy for the invocation.
+#pragma once
+
+#include "src/base/units.h"
+#include "src/histar/kernel.h"
+
+namespace cinder {
+
+class Simulator;
+
+struct QuantumContext {
+  Simulator& sim;
+  Kernel& kernel;
+  Thread& thread;
+  SimTime now;
+  Duration quantum;
+};
+
+class ThreadBody {
+ public:
+  virtual ~ThreadBody() = default;
+
+  // One scheduling quantum. The body runs the CPU for the full quantum.
+  virtual void OnQuantum(QuantumContext& ctx) = 0;
+
+  // Memory-intensive instruction streams draw ~13% more CPU power; the Dream
+  // cannot observe instruction mix, so Cinder's *estimate* always assumes the
+  // worst case, while the *true* draw depends on this flag.
+  virtual bool memory_intensive() const { return false; }
+};
+
+// Convenience body: spins the CPU forever (the paper's energy-hog processes).
+class SpinBody final : public ThreadBody {
+ public:
+  void OnQuantum(QuantumContext& ctx) override { (void)ctx; }
+};
+
+// Convenience body: invokes a callable each quantum.
+template <typename F>
+class FuncBody final : public ThreadBody {
+ public:
+  explicit FuncBody(F f) : f_(std::move(f)) {}
+  void OnQuantum(QuantumContext& ctx) override { f_(ctx); }
+
+ private:
+  F f_;
+};
+
+template <typename F>
+std::unique_ptr<ThreadBody> MakeBody(F f) {
+  return std::make_unique<FuncBody<F>>(std::move(f));
+}
+
+}  // namespace cinder

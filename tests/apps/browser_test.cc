@@ -1,0 +1,121 @@
+#include "src/apps/browser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+TEST(BrowserTest, FigureOneRateGuaranteesFiveHours) {
+  // 15 kJ at 750 mW is ~5.6 h: the tap bounds worst-case drain.
+  Simulator sim(QuietConfig());
+  BrowserApp app(&sim, {});
+  const double battery_j = sim.config().model.battery_capacity.joules_f();
+  const double rate_w = 0.750;
+  EXPECT_GT(battery_j / rate_w / 3600.0, 5.0);
+}
+
+TEST(BrowserTest, PluginIsSubdividedFromBrowser) {
+  Simulator sim(QuietConfig());
+  BrowserApp app(&sim, {});
+  Tap* plugin_tap = sim.kernel().LookupTyped<Tap>(app.plugin_tap());
+  ASSERT_NE(plugin_tap, nullptr);
+  EXPECT_EQ(plugin_tap->source(), app.browser_reserve());
+  EXPECT_EQ(plugin_tap->sink(), app.plugin_reserve());
+}
+
+TEST(BrowserTest, RunawayPluginCannotStarveBrowser) {
+  Simulator sim(QuietConfig());
+  // Cap the plugin well below its fair round-robin share so the cap is what
+  // binds: 20 mW out of the 137 mW CPU.
+  BrowserApp::Config cfg;
+  cfg.plugin_rate = Power::Milliwatts(20);
+  BrowserApp app(&sim, cfg);
+  // Plugin spins flat out; so does the browser.
+  sim.AttachBody(app.plugin_proc().thread, std::make_unique<SpinBody>());
+  sim.AttachBody(app.browser_proc().thread, std::make_unique<SpinBody>());
+  sim.Run(Duration::Seconds(60));
+  Energy plugin_cpu =
+      sim.meter().ForPrincipalComponent(app.plugin_proc().thread, Component::kCpu);
+  Energy browser_cpu =
+      sim.meter().ForPrincipalComponent(app.browser_proc().thread, Component::kCpu);
+  // Plugin held to its 20 mW subdivision; the browser keeps the rest.
+  EXPECT_LT(AveragePower(plugin_cpu, Duration::Seconds(60)).milliwatts_f(), 25.0);
+  EXPECT_GT(AveragePower(browser_cpu, Duration::Seconds(60)).milliwatts_f(), 100.0);
+}
+
+TEST(BrowserTest, BackwardTapsReachEquilibrium) {
+  // Figure 6b: plugin reserve stabilizes near rate/fraction = 70 mW / 0.1/s
+  // = 700 mJ when the plugin leaves its energy unused.
+  Simulator sim(QuietConfig());
+  BrowserApp::Config cfg;
+  cfg.backward_proportional = true;
+  BrowserApp app(&sim, cfg);
+  sim.Run(Duration::Seconds(120));
+  Reserve* plugin = sim.kernel().LookupTyped<Reserve>(app.plugin_reserve());
+  EXPECT_NEAR(plugin->energy().millijoules_f(), 700.0, 80.0);
+  // The browser reserve likewise bounded near 750/0.1 = 7500 mJ.
+  Reserve* browser = sim.kernel().LookupTyped<Reserve>(app.browser_reserve());
+  EXPECT_LT(browser->energy().millijoules_f(), 8500.0);
+}
+
+TEST(BrowserTest, WithoutBackwardTapsIdleReserveHoardsLocally) {
+  Simulator sim(QuietConfig());
+  SimConfig cfg2 = QuietConfig();
+  (void)cfg2;
+  BrowserApp app(&sim, {});
+  sim.Run(Duration::Seconds(60));
+  // No decay, no backward tap, no consumer: the reserve just grows.
+  Reserve* plugin = sim.kernel().LookupTyped<Reserve>(app.plugin_reserve());
+  EXPECT_GT(plugin->energy().millijoules_f(), 3000.0);
+}
+
+TEST(BrowserTest, PerPageTapsRevokedByContainerDelete) {
+  Simulator sim(QuietConfig());
+  BrowserApp app(&sim, {});
+  size_t taps_before = sim.taps().tap_count();
+  Result<ObjectId> page = app.AddPage(Power::Milliwatts(20), "page1");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(sim.taps().tap_count(), taps_before + 1);
+  EXPECT_EQ(app.open_pages(), 1u);
+  // Navigating away deletes the page container; GC revokes the tap.
+  EXPECT_EQ(app.ClosePage(page.value()), Status::kOk);
+  EXPECT_EQ(sim.taps().tap_count(), taps_before);
+  EXPECT_EQ(app.open_pages(), 0u);
+}
+
+TEST(BrowserTest, MorePagesMeansMorePluginPower) {
+  Simulator sim(QuietConfig());
+  BrowserApp app(&sim, {});
+  sim.AttachBody(app.plugin_proc().thread, std::make_unique<SpinBody>());
+  (void)app.AddPage(Power::Milliwatts(30), "p1");
+  (void)app.AddPage(Power::Milliwatts(30), "p2");
+  sim.Run(Duration::Seconds(30));
+  Energy plugin_cpu =
+      sim.meter().ForPrincipalComponent(app.plugin_proc().thread, Component::kCpu);
+  // 70 base + 60 from pages = 130 mW >~ the 70 mW base-only case.
+  EXPECT_GT(AveragePower(plugin_cpu, Duration::Seconds(30)).milliwatts_f(), 100.0);
+}
+
+TEST(BrowserTest, ExtensionFallsBackWhenOutOfEnergy) {
+  Simulator sim(QuietConfig());
+  BrowserApp::Config cfg;
+  cfg.extension_seed = Energy::Millijoules(10);
+  BrowserApp app(&sim, cfg);
+  // Each query costs 4 mJ: two succeed, the third finds the tank dry.
+  EXPECT_EQ(app.QueryExtension(Energy::Millijoules(4)), Status::kOk);
+  EXPECT_EQ(app.QueryExtension(Energy::Millijoules(4)), Status::kOk);
+  EXPECT_EQ(app.QueryExtension(Energy::Millijoules(4)), Status::kErrNoResource);
+  EXPECT_EQ(app.extension_served(), 2);
+  EXPECT_EQ(app.extension_fallbacks(), 1);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,102 @@
+#include "src/apps/energywrap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+TEST(EnergyWrapTest, CreatesReserveTapAndProcess) {
+  Simulator sim(QuietConfig());
+  Result<EnergyWrapped> w =
+      EnergyWrap(sim, *sim.boot_thread(), sim.battery_reserve_id(), Power::Milliwatts(1),
+                 "sandbox", std::make_unique<SpinBody>());
+  ASSERT_TRUE(w.ok());
+  Kernel& k = sim.kernel();
+  EXPECT_NE(k.LookupTyped<Reserve>(w->reserve), nullptr);
+  EXPECT_NE(k.LookupTyped<Tap>(w->tap), nullptr);
+  Thread* t = k.LookupTyped<Thread>(w->proc.thread);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->active_reserve(), w->reserve);
+  // The tap mirrors Figure 5: source = invoker's reserve, sink = new reserve.
+  Tap* tap = k.LookupTyped<Tap>(w->tap);
+  EXPECT_EQ(tap->source(), sim.battery_reserve_id());
+  EXPECT_EQ(tap->sink(), w->reserve);
+  EXPECT_EQ(tap->rate_per_sec(), RateFromPower(Power::Milliwatts(1)));
+}
+
+TEST(EnergyWrapTest, WrappedSpinnerIsRateLimited) {
+  Simulator sim(QuietConfig());
+  // 13.7 mW = 10% of the CPU's 137 mW.
+  Result<EnergyWrapped> w =
+      EnergyWrap(sim, *sim.boot_thread(), sim.battery_reserve_id(),
+                 Power::Microwatts(13700), "hog", std::make_unique<SpinBody>());
+  ASSERT_TRUE(w.ok());
+  sim.Run(Duration::Seconds(60));
+  Energy billed = sim.meter().ForPrincipalComponent(w->proc.thread, Component::kCpu);
+  // Average power ~= the tap rate, far below an unconstrained 137 mW.
+  double avg_mw = AveragePower(billed, Duration::Seconds(60)).milliwatts_f();
+  EXPECT_NEAR(avg_mw, 13.7, 1.5);
+}
+
+TEST(EnergyWrapTest, SeededWrapAllowsInitialBurst) {
+  Simulator sim(QuietConfig());
+  Result<EnergyWrapped> w = EnergyWrapSeeded(
+      sim, *sim.boot_thread(), sim.battery_reserve_id(), Power::Microwatts(1370),
+      Energy::Millijoules(137), "burst", std::make_unique<SpinBody>());
+  ASSERT_TRUE(w.ok());
+  // The seed funds a full-speed first second.
+  sim.Run(Duration::Seconds(1));
+  Energy billed = sim.meter().ForPrincipalComponent(w->proc.thread, Component::kCpu);
+  EXPECT_GT(billed.millijoules_f(), 100.0);
+}
+
+TEST(EnergyWrapTest, WrapsCompose) {
+  // energywrap wrapping energywrap: the inner limit can only be tighter.
+  Simulator sim(QuietConfig());
+  Result<EnergyWrapped> outer =
+      EnergyWrap(sim, *sim.boot_thread(), sim.battery_reserve_id(), Power::Milliwatts(10),
+                 "outer", nullptr);
+  ASSERT_TRUE(outer.ok());
+  Result<EnergyWrapped> inner =
+      EnergyWrap(sim, *sim.boot_thread(), outer->reserve, Power::Milliwatts(100), "inner",
+                 std::make_unique<SpinBody>(), outer->proc.container);
+  ASSERT_TRUE(inner.ok());
+  sim.Run(Duration::Seconds(30));
+  Energy billed = sim.meter().ForPrincipalComponent(inner->proc.thread, Component::kCpu);
+  // The inner tap asks for 100 mW but the outer reserve only receives 10 mW.
+  double avg_mw = AveragePower(billed, Duration::Seconds(30)).milliwatts_f();
+  EXPECT_LT(avg_mw, 12.0);
+  EXPECT_GT(avg_mw, 6.0);
+}
+
+TEST(EnergyWrapTest, DeletingProcessRevokesEverything) {
+  Simulator sim(QuietConfig());
+  Result<EnergyWrapped> w =
+      EnergyWrap(sim, *sim.boot_thread(), sim.battery_reserve_id(), Power::Milliwatts(1),
+                 "doomed", std::make_unique<SpinBody>());
+  ASSERT_TRUE(w.ok());
+  size_t taps_before = sim.taps().tap_count();
+  ASSERT_EQ(sim.kernel().Delete(w->proc.container), Status::kOk);
+  EXPECT_EQ(sim.kernel().Lookup(w->reserve), nullptr);
+  EXPECT_EQ(sim.kernel().Lookup(w->tap), nullptr);
+  EXPECT_EQ(sim.taps().tap_count(), taps_before - 1);
+  sim.Run(Duration::Seconds(1));  // Must not crash.
+}
+
+TEST(EnergyWrapTest, InvalidSourceFails) {
+  Simulator sim(QuietConfig());
+  Result<EnergyWrapped> w = EnergyWrap(sim, *sim.boot_thread(), 424242, Power::Milliwatts(1),
+                                       "bad", std::make_unique<SpinBody>());
+  EXPECT_FALSE(w.ok());
+}
+
+}  // namespace
+}  // namespace cinder

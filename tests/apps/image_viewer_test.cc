@@ -1,0 +1,102 @@
+#include "src/apps/image_viewer.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+ImageViewerApp::Config SmallWorkload(bool adaptive) {
+  ImageViewerApp::Config cfg;
+  cfg.adaptive = adaptive;
+  cfg.images_per_batch = 2;
+  cfg.num_batches = 3;
+  cfg.first_pause = Duration::Seconds(20);
+  cfg.pause_step = Duration::Seconds(5);
+  return cfg;
+}
+
+TEST(ImageViewerTest, NonAdaptiveDownloadsFullImages) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(false));
+  sim.Run(Duration::Seconds(1200));
+  ASSERT_TRUE(viewer.Done());
+  EXPECT_EQ(viewer.images_completed(), 6);
+  for (const auto& img : viewer.images()) {
+    EXPECT_EQ(img.bytes, SmallWorkload(false).image_full_bytes);
+    EXPECT_DOUBLE_EQ(img.quality, 1.0);
+  }
+}
+
+TEST(ImageViewerTest, NonAdaptiveStalls) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(false));
+  sim.Run(Duration::Seconds(1200));
+  ASSERT_TRUE(viewer.Done());
+  // A full image costs ~283 mJ but the tap only delivers 5 mW: most of the
+  // time is spent stalled waiting for energy (Figure 10's behavior).
+  EXPECT_GT(viewer.stall_quanta(), 1000);
+}
+
+TEST(ImageViewerTest, AdaptiveScalesQualityDown) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(true));
+  sim.Run(Duration::Seconds(1200));
+  ASSERT_TRUE(viewer.Done());
+  EXPECT_EQ(viewer.images_completed(), 6);
+  bool any_scaled = false;
+  for (const auto& img : viewer.images()) {
+    EXPECT_LE(img.bytes, SmallWorkload(true).image_full_bytes);
+    if (img.quality < 0.99) {
+      any_scaled = true;
+    }
+  }
+  EXPECT_TRUE(any_scaled);
+}
+
+TEST(ImageViewerTest, AdaptiveIsMuchFaster) {
+  // Paper: "The images downloaded 5 times more quickly" with scaling.
+  auto run = [](bool adaptive) {
+    Simulator sim(QuietConfig());
+    ImageViewerApp viewer(&sim, SmallWorkload(adaptive));
+    sim.Run(Duration::Seconds(2000));
+    EXPECT_TRUE(viewer.Done());
+    return viewer.finished_at().seconds_f();
+  };
+  const double slow = run(false);
+  const double fast = run(true);
+  EXPECT_GT(slow / fast, 3.0);
+}
+
+TEST(ImageViewerTest, AdaptiveReserveNeverEmpties) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(true));
+  sim.Run(Duration::Seconds(1200));
+  ASSERT_TRUE(viewer.Done());
+  // "the level of energy present in the reserve dropped below the threshold,
+  // but never to zero" (section 6.2).
+  EXPECT_GT(viewer.reserve_trace().MinValue(), 0.0);
+}
+
+TEST(ImageViewerTest, NonAdaptiveReserveHitsZero) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(false));
+  sim.Run(Duration::Seconds(1200));
+  // Fixed-size requests outrun the tap: the reserve bottoms out.
+  EXPECT_LT(viewer.reserve_trace().MinValue(), 1000.0);  // < 1000 uJ.
+}
+
+TEST(ImageViewerTest, TraceIsRecorded) {
+  Simulator sim(QuietConfig());
+  ImageViewerApp viewer(&sim, SmallWorkload(true));
+  sim.Run(Duration::Seconds(300));
+  EXPECT_GT(viewer.reserve_trace().size(), 10u);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,107 @@
+#include "src/apps/task_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+class TaskManagerTest : public ::testing::Test {
+ protected:
+  TaskManagerTest() : sim_(QuietConfig()), tm_(&sim_, {}) {}
+
+  Simulator::Process MakeSpinner(const char* name) {
+    auto proc = sim_.CreateProcess(name);
+    tm_.RegisterApp(proc, name);
+    sim_.AttachBody(proc.thread, std::make_unique<SpinBody>());
+    return proc;
+  }
+
+  double AvgPowerMw(ObjectId thread, Duration window) {
+    Energy e = sim_.meter().ForPrincipalComponent(thread, Component::kCpu) -
+               last_billed_[thread];
+    last_billed_[thread] = sim_.meter().ForPrincipalComponent(thread, Component::kCpu);
+    return AveragePower(e, window).milliwatts_f();
+  }
+
+  Simulator sim_;
+  TaskManager tm_;
+  std::map<ObjectId, Energy> last_billed_;
+};
+
+TEST_F(TaskManagerTest, BackgroundAppsShareLowBudget) {
+  auto a = MakeSpinner("a");
+  auto b = MakeSpinner("b");
+  sim_.Run(Duration::Seconds(30));
+  double pa = AvgPowerMw(a.thread, Duration::Seconds(30));
+  double pb = AvgPowerMw(b.thread, Duration::Seconds(30));
+  // Together ~14 mW (the background feed), split roughly evenly.
+  EXPECT_NEAR(pa + pb, 14.0, 3.0);
+  EXPECT_NEAR(pa, 7.0, 3.0);
+  EXPECT_NEAR(pb, 7.0, 3.0);
+}
+
+TEST_F(TaskManagerTest, ForegroundAppGetsFullCpu) {
+  auto a = MakeSpinner("a");
+  auto b = MakeSpinner("b");
+  sim_.Run(Duration::Seconds(10));  // Settle in background.
+  (void)AvgPowerMw(a.thread, Duration::Seconds(10));
+  (void)AvgPowerMw(b.thread, Duration::Seconds(10));
+  ASSERT_EQ(tm_.SetForeground(a.thread), Status::kOk);
+  sim_.Run(Duration::Seconds(20));
+  double pa = AvgPowerMw(a.thread, Duration::Seconds(20));
+  double pb = AvgPowerMw(b.thread, Duration::Seconds(20));
+  // A near the CPU's full 137 mW; B still at its background share.
+  EXPECT_GT(pa, 110.0);
+  EXPECT_LT(pb, 14.0);
+}
+
+TEST_F(TaskManagerTest, DemotionReturnsAppToBackground) {
+  auto a = MakeSpinner("a");
+  (void)MakeSpinner("b");
+  ASSERT_EQ(tm_.SetForeground(a.thread), Status::kOk);
+  sim_.Run(Duration::Seconds(10));
+  ASSERT_EQ(tm_.SetForeground(kInvalidObjectId), Status::kOk);
+  (void)AvgPowerMw(a.thread, Duration::Seconds(10));
+  // Drain any accumulated surplus first (137 mW feed == 137 mW CPU, so the
+  // surplus is small), then measure steady background behavior.
+  sim_.Run(Duration::Seconds(20));
+  (void)AvgPowerMw(a.thread, Duration::Seconds(20));
+  sim_.Run(Duration::Seconds(20));
+  double pa = AvgPowerMw(a.thread, Duration::Seconds(20));
+  EXPECT_LT(pa, 20.0);
+}
+
+TEST_F(TaskManagerTest, AppsCannotRetuneTheirOwnTaps) {
+  auto a = MakeSpinner("a");
+  const TaskManager::App* app = tm_.Find(a.thread);
+  ASSERT_NE(app, nullptr);
+  Thread* t = sim_.kernel().LookupTyped<Thread>(a.thread);
+  // The app itself lacks the control category: permission denied.
+  EXPECT_EQ(TapSetConstantPower(sim_.kernel(), *t, app->fg_tap, Power::Milliwatts(500)),
+            Status::kErrPermission);
+  EXPECT_EQ(TapSetConstantPower(sim_.kernel(), *t, app->bg_tap, Power::Milliwatts(500)),
+            Status::kErrPermission);
+}
+
+TEST_F(TaskManagerTest, SetForegroundValidatesThread) {
+  EXPECT_EQ(tm_.SetForeground(987654), Status::kErrNotFound);
+}
+
+TEST_F(TaskManagerTest, FindReturnsRegistration) {
+  auto a = MakeSpinner("a");
+  const TaskManager::App* app = tm_.Find(a.thread);
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->thread, a.thread);
+  EXPECT_EQ(tm_.Find(123456), nullptr);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,138 @@
+// Tests for the smdd/rild phone stack (paper section 7, Figures 15/16):
+// gate-chained access to the closed ARM9, SMS quotas, GPS billing, and the
+// battery's percent-only visibility.
+#include <gtest/gtest.h>
+
+#include "src/arm9/rild.h"
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+class PhoneStackTest : public ::testing::Test {
+ protected:
+  PhoneStackTest() : sim_(QuietConfig()), smdd_(&sim_), rild_(&sim_, &smdd_) {
+    Kernel& k = sim_.kernel();
+    Thread* boot = sim_.boot_thread();
+    app_ = sim_.CreateProcess("app");
+    reserve_ = ReserveCreate(k, *boot, app_.container, Label(Level::k1), "app/r").value();
+    (void)ReserveTransfer(k, *boot, sim_.battery_reserve_id(), reserve_,
+                          ToQuantity(Energy::Joules(100.0)));
+    k.LookupTyped<Thread>(app_.thread)->set_active_reserve(reserve_);
+    sms_quota_ = k.Create<Reserve>(app_.container, Label(Level::k1), "app/sms",
+                                   ResourceKind::kSms)
+                     ->id();
+    rild_.SetSmsQuota(app_.thread, sms_quota_);
+  }
+
+  Thread* app_thread() { return sim_.kernel().LookupTyped<Thread>(app_.thread); }
+  Reserve* sms_quota() { return sim_.kernel().LookupTyped<Reserve>(sms_quota_); }
+
+  Simulator sim_;
+  SmddService smdd_;
+  RildService rild_;
+  Simulator::Process app_;
+  ObjectId reserve_ = kInvalidObjectId;
+  ObjectId sms_quota_ = kInvalidObjectId;
+};
+
+TEST_F(PhoneStackTest, BatteryVisibleOnlyAsPercent) {
+  Result<int> level = rild_.BatteryLevel(*app_thread());
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level.value(), 100);
+  // Drain ~3% and re-read: integer steps only.
+  sim_.battery().Drain(Energy::Joules(460.0));
+  EXPECT_EQ(rild_.BatteryLevel(*app_thread()).value(), 96);
+}
+
+TEST_F(PhoneStackTest, SmsDebitsQuotaAndEnergyAndWakesRadio) {
+  sms_quota()->Deposit(2);
+  const Energy before = sim_.kernel().LookupTyped<Reserve>(reserve_)->energy();
+  EXPECT_EQ(rild_.SendSms(*app_thread(), "hello"), Status::kOk);
+  EXPECT_EQ(sms_quota()->level(), 1);
+  EXPECT_TRUE(sim_.radio().IsAwake());
+  // The app paid the radio-activation-sized estimate.
+  const Energy after = sim_.kernel().LookupTyped<Reserve>(reserve_)->energy();
+  EXPECT_GT((before - after).joules_f(), 9.0);
+  EXPECT_EQ(smdd_.arm9().sms_sent(), 1);
+}
+
+TEST_F(PhoneStackTest, SmsRefusedWhenQuotaEmpty) {
+  EXPECT_EQ(rild_.SendSms(*app_thread(), "no quota"), Status::kErrNoResource);
+  EXPECT_EQ(smdd_.arm9().sms_sent(), 0);
+  EXPECT_EQ(rild_.sms_rejected_quota(), 1);
+}
+
+TEST_F(PhoneStackTest, SmsRefusedWithoutRegisteredQuota) {
+  auto other = sim_.CreateProcess("other");
+  Thread* t = sim_.kernel().LookupTyped<Thread>(other.thread);
+  EXPECT_EQ(rild_.SendSms(*t, "who am i"), Status::kErrPermission);
+}
+
+TEST_F(PhoneStackTest, SmsQuotaRefundedWhenEnergyInsufficient) {
+  sms_quota()->Deposit(1);
+  // Drain the app's energy reserve so the SMS cannot be billed.
+  Reserve* r = sim_.kernel().LookupTyped<Reserve>(reserve_);
+  (void)r->Withdraw(r->level());
+  EXPECT_EQ(rild_.SendSms(*app_thread(), "broke"), Status::kErrNoResource);
+  EXPECT_EQ(sms_quota()->level(), 1);  // Message right returned.
+  EXPECT_EQ(rild_.sms_rejected_energy(), 1);
+}
+
+TEST_F(PhoneStackTest, VoiceCallLifecycle) {
+  EXPECT_EQ(rild_.Dial(*app_thread(), "+16505551212"), Status::kOk);
+  EXPECT_TRUE(smdd_.arm9().call_active());
+  // Dialing twice is a protocol error.
+  EXPECT_EQ(rild_.Dial(*app_thread(), "+16505551212"), Status::kErrBadState);
+  EXPECT_EQ(rild_.Hangup(*app_thread()), Status::kOk);
+  EXPECT_FALSE(smdd_.arm9().call_active());
+  EXPECT_EQ(rild_.Hangup(*app_thread()), Status::kErrBadState);
+}
+
+TEST_F(PhoneStackTest, GpsColdFixTakesThirtySeconds) {
+  EXPECT_EQ(rild_.GpsStart(*app_thread()), Status::kOk);
+  EXPECT_EQ(rild_.GpsFix(*app_thread()).status(), Status::kErrWouldBlock);
+  sim_.Run(Duration::Seconds(31));
+  Result<std::pair<int64_t, int64_t>> fix = rild_.GpsFix(*app_thread());
+  ASSERT_TRUE(fix.ok());
+  EXPECT_NE(fix->first, 0);
+  EXPECT_EQ(rild_.GpsStop(*app_thread()), Status::kOk);
+}
+
+TEST_F(PhoneStackTest, GpsDrawShowsInTruePowerAndIsBilled) {
+  const Energy baseline_60s = sim_.config().model.idle_baseline * Duration::Seconds(60);
+  EXPECT_EQ(rild_.GpsStart(*app_thread()), Status::kOk);
+  sim_.Run(Duration::Seconds(60));
+  // True draw: baseline + ~143 mW of GPS.
+  EXPECT_NEAR((sim_.total_true_energy() - baseline_60s).joules_f(), 0.143 * 60.0, 0.5);
+  const Energy before = sim_.kernel().LookupTyped<Reserve>(reserve_)->energy();
+  EXPECT_EQ(rild_.GpsStop(*app_thread()), Status::kOk);
+  const Energy after = sim_.kernel().LookupTyped<Reserve>(reserve_)->energy();
+  // Session billed on stop: ~8.6 J for the minute.
+  EXPECT_NEAR((before - after).joules_f(), 0.143 * 60.0, 0.5);
+}
+
+TEST_F(PhoneStackTest, GateChainBillsTheApp) {
+  sms_quota()->Deposit(1);
+  (void)rild_.SendSms(*app_thread(), "attribution");
+  // The whole app -> rild -> smdd -> ARM9 chain recorded against the app.
+  EXPECT_GT(sim_.meter().ForPrincipalComponent(app_.thread, Component::kRadio).joules_f(),
+            9.0);
+  EXPECT_GE(smdd_.gate_calls(), 1);
+}
+
+TEST_F(PhoneStackTest, DataPathThroughArm9) {
+  auto reply = smdd_.CallArm9(*app_thread(), SmdPort::kRadioData, kArm9OpDataTx, {1, 1500});
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(smdd_.arm9().data_packets(), 1);
+  EXPECT_EQ(sim_.radio().total_bytes(), 1500);
+}
+
+}  // namespace
+}  // namespace cinder

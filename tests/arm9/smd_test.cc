@@ -1,0 +1,110 @@
+#include "src/arm9/smd.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+class SmdRingTest : public ::testing::Test {
+ protected:
+  SmdRingTest() {
+    seg_ = k_.Create<Segment>(k_.root_container_id(), Label(Level::k1), "ring", 256 + 8);
+  }
+
+  Kernel k_;
+  Segment* seg_ = nullptr;
+};
+
+TEST_F(SmdRingTest, RoundTripsAMessage) {
+  SmdRing ring(&k_, seg_->id());
+  SmdMessage msg;
+  msg.port = SmdPort::kRadioControl;
+  msg.opcode = 3;
+  msg.args = {42, -7};
+  msg.payload = {'h', 'i'};
+  ASSERT_EQ(ring.Push(msg), Status::kOk);
+  auto out = ring.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->port, SmdPort::kRadioControl);
+  EXPECT_EQ(out->opcode, 3u);
+  ASSERT_EQ(out->args.size(), 2u);
+  EXPECT_EQ(out->args[0], 42);
+  EXPECT_EQ(out->args[1], -7);
+  EXPECT_EQ(out->payload, (std::vector<uint8_t>{'h', 'i'}));
+}
+
+TEST_F(SmdRingTest, EmptyRingPopsNothing) {
+  SmdRing ring(&k_, seg_->id());
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST_F(SmdRingTest, FifoOrderPreserved) {
+  SmdRing ring(&k_, seg_->id());
+  for (uint32_t i = 0; i < 3; ++i) {
+    SmdMessage m;
+    m.opcode = i;
+    ASSERT_EQ(ring.Push(m), Status::kOk);
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto out = ring.Pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->opcode, i);
+  }
+}
+
+TEST_F(SmdRingTest, BackpressureWhenFull) {
+  SmdRing ring(&k_, seg_->id());
+  SmdMessage big;
+  big.payload.assign(200, 0xab);
+  ASSERT_EQ(ring.Push(big), Status::kOk);
+  EXPECT_EQ(ring.Push(big), Status::kErrExhausted);  // Does not fit.
+  ASSERT_TRUE(ring.Pop().has_value());
+  EXPECT_EQ(ring.Push(big), Status::kOk);  // Space reclaimed.
+}
+
+TEST_F(SmdRingTest, WrapsAroundTheRing) {
+  SmdRing ring(&k_, seg_->id());
+  SmdMessage m;
+  m.payload.assign(60, 0x5a);
+  // Repeated push/pop cycles force head/tail to wrap the 256-byte ring.
+  for (int i = 0; i < 20; ++i) {
+    m.opcode = static_cast<uint32_t>(i);
+    ASSERT_EQ(ring.Push(m), Status::kOk) << i;
+    auto out = ring.Pop();
+    ASSERT_TRUE(out.has_value()) << i;
+    EXPECT_EQ(out->opcode, static_cast<uint32_t>(i));
+    EXPECT_EQ(out->payload.size(), 60u);
+    EXPECT_EQ(out->payload[59], 0x5a);
+  }
+}
+
+TEST(SmdChannelTest, CallInvokesArm9Handler) {
+  Kernel k;
+  SmdChannel channel(&k, k.root_container_id());
+  channel.set_arm9_handler([](const SmdMessage& req) {
+    SmdMessage reply;
+    reply.port = req.port;
+    reply.opcode = req.opcode;
+    reply.args.push_back(0);
+    reply.args.push_back(req.args.empty() ? 0 : req.args[0] * 2);
+    return reply;
+  });
+  SmdMessage req;
+  req.port = SmdPort::kBattery;
+  req.opcode = 20;
+  req.args.push_back(21);
+  Result<SmdMessage> reply = channel.Call(req);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->args.size(), 2u);
+  EXPECT_EQ(reply->args[1], 42);
+  EXPECT_EQ(channel.calls(), 1);
+}
+
+TEST(SmdChannelTest, CallWithoutHandlerFails) {
+  Kernel k;
+  SmdChannel channel(&k, k.root_container_id());
+  EXPECT_EQ(channel.Call(SmdMessage{}).status(), Status::kErrBadState);
+}
+
+}  // namespace
+}  // namespace cinder

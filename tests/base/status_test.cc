@@ -1,0 +1,60 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+
+namespace cinder {
+namespace {
+
+TEST(StatusTest, ToStringCoversAllCodes) {
+  EXPECT_EQ(StatusToString(Status::kOk), "OK");
+  EXPECT_EQ(StatusToString(Status::kErrNotFound), "ERR_NOT_FOUND");
+  EXPECT_EQ(StatusToString(Status::kErrPermission), "ERR_PERMISSION");
+  EXPECT_EQ(StatusToString(Status::kErrNoResource), "ERR_NO_RESOURCE");
+  EXPECT_EQ(StatusToString(Status::kErrInvalidArg), "ERR_INVALID_ARG");
+  EXPECT_EQ(StatusToString(Status::kErrBadState), "ERR_BAD_STATE");
+  EXPECT_EQ(StatusToString(Status::kErrWouldBlock), "ERR_WOULD_BLOCK");
+  EXPECT_EQ(StatusToString(Status::kErrExhausted), "ERR_EXHAUSTED");
+  EXPECT_EQ(StatusToString(Status::kErrOutOfRange), "ERR_OUT_OF_RANGE");
+  EXPECT_EQ(StatusToString(Status::kErrWrongType), "ERR_WRONG_TYPE");
+  EXPECT_EQ(StatusToString(Status::kErrAlreadyExists), "ERR_ALREADY_EXISTS");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::kErrNotFound);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kErrNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, WorksWithMoveOnlyish) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status Fails() { return Status::kErrBadState; }
+Status Chained() {
+  CINDER_RETURN_IF_ERROR(Fails());
+  return Status::kOk;
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) { EXPECT_EQ(Chained(), Status::kErrBadState); }
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,42 @@
+#include "src/base/table_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t("demo");
+  t.SetColumns({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableWriterTest, AsciiAlignsColumns) {
+  TableWriter t("demo");
+  t.SetColumns({"name", "v"});
+  t.AddRow({"x", "123456"});
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| name |"), std::string::npos);
+  EXPECT_NE(ascii.find("123456"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(ascii.find("|------|"), std::string::npos);
+}
+
+TEST(TableWriterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Num(10.0, 0), "10");
+  EXPECT_EQ(TableWriter::Num(-1.5, 1), "-1.5");
+}
+
+TEST(TableWriterTest, ShortRowsPadded) {
+  TableWriter t("demo");
+  t.SetColumns({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cinder

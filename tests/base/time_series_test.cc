@@ -1,0 +1,87 @@
+#include "src/base/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+SimTime At(double secs) { return SimTime::FromMicros(static_cast<int64_t>(secs * 1e6)); }
+
+TEST(TimeSeriesTest, BasicStats) {
+  TimeSeries s("x");
+  s.Append(At(0), 1.0);
+  s.Append(At(1), 3.0);
+  s.Append(At(2), 2.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(s.MaxValue(), 3.0);
+  EXPECT_DOUBLE_EQ(s.MeanValue(), 2.0);
+  EXPECT_DOUBLE_EQ(s.LastValue(), 2.0);
+}
+
+TEST(TimeSeriesTest, EmptyIsSafe) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.MinValue(), 0.0);
+  EXPECT_DOUBLE_EQ(s.MeanValue(), 0.0);
+  EXPECT_DOUBLE_EQ(s.IntegralOverTime(), 0.0);
+  EXPECT_DOUBLE_EQ(s.LastValue(42.0), 42.0);
+}
+
+TEST(TimeSeriesTest, IntegralOfConstantPower) {
+  // 0.7 W sampled for 10 s should integrate to 7 J.
+  TimeSeries s("p");
+  for (int i = 0; i <= 10; ++i) {
+    s.Append(At(i), 0.7);
+  }
+  EXPECT_NEAR(s.IntegralOverTime(), 7.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegralTrapezoidal) {
+  TimeSeries s("p");
+  s.Append(At(0), 0.0);
+  s.Append(At(2), 2.0);
+  EXPECT_NEAR(s.IntegralOverTime(), 2.0, 1e-9);  // Triangle: 1/2 * 2 * 2.
+}
+
+TEST(TimeSeriesTest, TimeAboveThreshold) {
+  TimeSeries s("p");
+  s.Append(At(0), 1.0);
+  s.Append(At(1), 1.0);
+  s.Append(At(2), 0.1);
+  s.Append(At(3), 0.1);
+  s.Append(At(4), 1.0);
+  // Intervals counted by left endpoint: [0,1) and [1,2) qualify; the final
+  // sample at t=4 opens no interval.
+  EXPECT_NEAR(s.TimeAbove(0.5), 2.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, MeanAbove) {
+  TimeSeries s("p");
+  s.Append(At(0), 10.0);
+  s.Append(At(1), 0.0);
+  s.Append(At(2), 20.0);
+  EXPECT_DOUBLE_EQ(s.MeanAbove(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.MeanAbove(100.0), 0.0);
+}
+
+TEST(TimeSeriesTest, RebinAverages) {
+  TimeSeries s("p");
+  for (int i = 0; i < 10; ++i) {
+    s.Append(At(0.1 * i), static_cast<double>(i));
+  }
+  TimeSeries binned = s.Rebin(Duration::Millis(500));
+  ASSERT_EQ(binned.size(), 2u);
+  EXPECT_DOUBLE_EQ(binned[0].value, 2.0);  // mean of 0..4
+  EXPECT_DOUBLE_EQ(binned[1].value, 7.0);  // mean of 5..9
+}
+
+TEST(TimeSeriesTest, RebinEmptyAndZeroBin) {
+  TimeSeries s("p");
+  EXPECT_TRUE(s.Rebin(Duration::Seconds(1)).empty());
+  s.Append(At(0), 1.0);
+  EXPECT_TRUE(s.Rebin(Duration::Zero()).empty());
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,120 @@
+#include "src/base/units.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(DurationTest, Construction) {
+  EXPECT_EQ(Duration::Micros(1500).us(), 1500);
+  EXPECT_EQ(Duration::Millis(2).us(), 2000);
+  EXPECT_EQ(Duration::Seconds(3).us(), 3000000);
+  EXPECT_EQ(Duration::Minutes(1).us(), 60000000);
+  EXPECT_EQ(Duration::SecondsF(0.5).us(), 500000);
+  EXPECT_TRUE(Duration::Zero().IsZero());
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = Duration::Millis(10);
+  Duration b = Duration::Millis(4);
+  EXPECT_EQ((a + b).ms(), 14);
+  EXPECT_EQ((a - b).ms(), 6);
+  EXPECT_EQ((a * 3).ms(), 30);
+  EXPECT_EQ((a / 2).ms(), 5);
+  EXPECT_EQ(a / b, 2);       // Integer ratio.
+  EXPECT_EQ((a % b).ms(), 2);
+  EXPECT_LT(b, a);
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ(Duration::Seconds(5).ToString(), "5s");
+  EXPECT_EQ(Duration::Millis(5).ToString(), "5ms");
+  EXPECT_EQ(Duration::Micros(5).ToString(), "5us");
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::Zero() + Duration::Seconds(2);
+  EXPECT_EQ(t.us(), 2000000);
+  SimTime u = t + Duration::Millis(500);
+  EXPECT_EQ((u - t).ms(), 500);
+  EXPECT_LT(t, u);
+  EXPECT_DOUBLE_EQ(u.seconds_f(), 2.5);
+}
+
+TEST(PowerTest, Construction) {
+  EXPECT_EQ(Power::Milliwatts(137).uw(), 137000);
+  EXPECT_EQ(Power::Watts(1.5).uw(), 1500000);
+  EXPECT_DOUBLE_EQ(Power::Milliwatts(699).watts_f(), 0.699);
+}
+
+TEST(PowerTest, Arithmetic) {
+  Power p = Power::Milliwatts(100) + Power::Milliwatts(37);
+  EXPECT_EQ(p.uw(), 137000);
+  p -= Power::Milliwatts(37);
+  EXPECT_EQ(p.uw(), 100000);
+  EXPECT_EQ((p * 3).uw(), 300000);
+}
+
+TEST(EnergyTest, Construction) {
+  EXPECT_EQ(Energy::Microjoules(1).nj(), 1000);
+  EXPECT_EQ(Energy::Millijoules(1).nj(), 1000000);
+  EXPECT_EQ(Energy::Joules(1.0).nj(), 1000000000);
+  EXPECT_DOUBLE_EQ(Energy::Joules(9.5).joules_f(), 9.5);
+}
+
+TEST(EnergyTest, PowerTimesDuration) {
+  // 137 mW for 1 ms = 137 uJ.
+  Energy e = Power::Milliwatts(137) * Duration::Millis(1);
+  EXPECT_EQ(e.nj(), 137000);
+  // Commutes.
+  EXPECT_EQ((Duration::Millis(1) * Power::Milliwatts(137)).nj(), e.nj());
+  // 1 uW for 1 us = 1 pJ -> rounds down to 0 nJ.
+  EXPECT_EQ((Power::Microwatts(1) * Duration::Micros(1)).nj(), 0);
+  // 1 uW for 1 ms = 1 nJ exactly.
+  EXPECT_EQ((Power::Microwatts(1) * Duration::Millis(1)).nj(), 1);
+}
+
+TEST(EnergyTest, PaperScaleQuantities) {
+  // The paper's radio activation: 9.5 J over ~22 s of 0.4 W + ramp.
+  Energy ramp = Power::Milliwatts(350) * Duration::Seconds(2);
+  Energy tail = Power::Milliwatts(400) * Duration::Seconds(22);
+  EXPECT_EQ((ramp + tail).joules_f(), 9.5);
+}
+
+TEST(EnergyTest, AveragePower) {
+  Power p = AveragePower(Energy::Joules(9.5), Duration::Seconds(19));
+  EXPECT_EQ(p.uw(), 500000);
+  EXPECT_EQ(AveragePower(Energy::Joules(1.0), Duration::Zero()).uw(), 0);
+}
+
+TEST(EnergyTest, MinMax) {
+  Energy a = Energy::Joules(1.0);
+  Energy b = Energy::Joules(2.0);
+  EXPECT_EQ(MinEnergy(a, b), a);
+  EXPECT_EQ(MaxEnergy(a, b), b);
+}
+
+TEST(EnergyTest, Negation) {
+  Energy e = Energy::Millijoules(5);
+  EXPECT_TRUE((-e).IsNegative());
+  EXPECT_EQ((-e).nj(), -5000000);
+}
+
+class PowerDurationRoundTrip : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PowerDurationRoundTrip, EnergyIsExactForMillisecondGrid) {
+  auto [mw, ms] = GetParam();
+  Energy e = Power::Milliwatts(mw) * Duration::Millis(ms);
+  // mW * ms = uJ exactly.
+  EXPECT_EQ(e.nj(), mw * ms * 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PowerDurationRoundTrip,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{137, 1},
+                                           std::pair<int64_t, int64_t>{699, 10},
+                                           std::pair<int64_t, int64_t>{750, 1000},
+                                           std::pair<int64_t, int64_t>{14, 3600000}));
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,103 @@
+#include "src/baseline/pipe_ipc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+struct Client {
+  Simulator::Process proc;
+  ObjectId reserve;
+};
+
+Client MakeClient(Simulator& sim, const char* name) {
+  Kernel& k = sim.kernel();
+  Thread* boot = sim.boot_thread();
+  Client c;
+  c.proc = sim.CreateProcess(name);
+  c.reserve = ReserveCreate(k, *boot, c.proc.container, Label(Level::k1), name).value();
+  (void)ReserveTransfer(k, *boot, sim.battery_reserve_id(), c.reserve,
+                        ToQuantity(Energy::Joules(5.0)));
+  k.LookupTyped<Thread>(c.proc.thread)->set_active_reserve(c.reserve);
+  return c;
+}
+
+TEST(PipeIpcTest, ServerProcessesQueuedRequests) {
+  Simulator sim(QuietConfig());
+  PipeIpcService svc(&sim, Power::Milliwatts(137));
+  Client a = MakeClient(sim, "a");
+  svc.Request(a.proc.thread, 100);
+  svc.Request(a.proc.thread, 50);
+  sim.Run(Duration::Seconds(5));
+  EXPECT_EQ(svc.processed(), 2);
+  EXPECT_TRUE(svc.idle());
+}
+
+TEST(PipeIpcTest, WorkIsBilledToServerNotClient) {
+  // The misattribution the paper criticizes (section 7.1).
+  Simulator sim(QuietConfig());
+  PipeIpcService svc(&sim, Power::Milliwatts(137));
+  Client a = MakeClient(sim, "a");
+  svc.Request(a.proc.thread, 500);
+  sim.Run(Duration::Seconds(5));
+  Energy server_cpu = sim.meter().ForPrincipalComponent(svc.server_thread(), Component::kCpu);
+  Energy client_cpu = sim.meter().ForPrincipalComponent(a.proc.thread, Component::kCpu);
+  EXPECT_GT(server_cpu.millijoules_f(), 50.0);
+  EXPECT_EQ(client_cpu, Energy::Zero());
+}
+
+TEST(GateComputeTest, WorkIsBilledToCaller) {
+  Simulator sim(QuietConfig());
+  GateComputeService svc(&sim);
+  Client a = MakeClient(sim, "a");
+  Thread* t = sim.kernel().LookupTyped<Thread>(a.proc.thread);
+  EXPECT_EQ(svc.Call(*t, 500), Status::kOk);
+  Energy client_cpu = sim.meter().ForPrincipalComponent(a.proc.thread, Component::kCpu);
+  // 500 quanta * 137 uJ = 68.5 mJ billed to the caller.
+  EXPECT_NEAR(client_cpu.millijoules_f(), 68.5, 0.5);
+  EXPECT_EQ(svc.processed(), 1);
+}
+
+TEST(GateComputeTest, BrokeCallerIsRefused) {
+  Simulator sim(QuietConfig());
+  GateComputeService svc(&sim);
+  Kernel& k = sim.kernel();
+  auto proc = sim.CreateProcess("broke");
+  ObjectId r = ReserveCreate(k, *sim.boot_thread(), proc.container, Label(Level::k1), "r").value();
+  Thread* t = k.LookupTyped<Thread>(proc.thread);
+  t->set_active_reserve(r);
+  // Gate accounting means the caller cannot push unfunded work onto a daemon.
+  EXPECT_EQ(svc.Call(*t, 500), Status::kErrNoResource);
+  EXPECT_EQ(svc.processed(), 0);
+}
+
+TEST(PipeIpcTest, AttributionErrorDemonstrated) {
+  // Same workload through both mechanisms; compare how much of the true
+  // service cost lands on the correct principal.
+  Simulator sim(QuietConfig());
+  PipeIpcService pipe_svc(&sim, Power::Milliwatts(137));
+  GateComputeService gate_svc(&sim);
+  Client pipe_client = MakeClient(sim, "pipe_client");
+  Client gate_client = MakeClient(sim, "gate_client");
+  pipe_svc.Request(pipe_client.proc.thread, 300);
+  Thread* gt = sim.kernel().LookupTyped<Thread>(gate_client.proc.thread);
+  (void)gate_svc.Call(*gt, 300);
+  sim.Run(Duration::Seconds(3));
+  Energy on_pipe_client =
+      sim.meter().ForPrincipalComponent(pipe_client.proc.thread, Component::kCpu);
+  Energy on_gate_client =
+      sim.meter().ForPrincipalComponent(gate_client.proc.thread, Component::kCpu);
+  EXPECT_EQ(on_pipe_client, Energy::Zero());       // 100% misattributed.
+  EXPECT_GT(on_gate_client.millijoules_f(), 40.0);  // Correctly attributed.
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,129 @@
+// Tests for the strict anti-hoarding alternative (paper section 5.2.2):
+// reserve_clone duplicating inescapable drain taps, and the fast-to-slow
+// transfer restriction.
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+class CloneTest : public ::testing::Test {
+ protected:
+  CloneTest() {
+    battery_ = k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), "battery");
+    battery_->set_decay_exempt(true);
+    battery_->Deposit(ToQuantity(Energy::Joules(15000.0)));
+    engine_ = std::make_unique<TapEngine>(&k_, battery_->id());
+    engine_->decay().enabled = false;
+    app_ = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "app");
+    sys_ = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "sys");
+    sys_cat_ = k_.categories().Allocate();
+    sys_->GrantPrivilege(sys_cat_);
+  }
+
+  // A reserve with a system-imposed 0.1/s backward tax the app cannot remove.
+  ObjectId MakeTaxedReserve(const char* name) {
+    ObjectId r =
+        ReserveCreate(k_, *app_, k_.root_container_id(), Label(Level::k1), name).value();
+    Label locked(Level::k1);
+    locked.Set(sys_cat_, Level::k0);  // Only `sys` can modify the tax tap.
+    ObjectId tax = TapCreate(k_, *engine_, *sys_, k_.root_container_id(), r, battery_->id(),
+                             locked, std::string(name) + "/tax")
+                       .value();
+    (void)TapSetProportionalRate(k_, *sys_, tax, 0.1);
+    return r;
+  }
+
+  Kernel k_;
+  Reserve* battery_ = nullptr;
+  std::unique_ptr<TapEngine> engine_;
+  Thread* app_ = nullptr;
+  Thread* sys_ = nullptr;
+  Category sys_cat_ = 0;
+};
+
+TEST_F(CloneTest, CloneDuplicatesLockedDrains) {
+  ObjectId taxed = MakeTaxedReserve("taxed");
+  const size_t taps_before = engine_->tap_count();
+  Result<ObjectId> clone = ReserveClone(k_, *engine_, *app_, taxed, k_.root_container_id(),
+                                        Label(Level::k1), "clone");
+  ASSERT_TRUE(clone.ok());
+  // The clone carries its own copy of the tax tap.
+  EXPECT_EQ(engine_->tap_count(), taps_before + 1);
+  auto drains = engine_->TapsFromSource(clone.value());
+  ASSERT_EQ(drains.size(), 1u);
+  const Tap* dup = k_.LookupTyped<Tap>(drains[0]);
+  EXPECT_EQ(dup->tap_type(), TapType::kProportional);
+  EXPECT_DOUBLE_EQ(dup->fraction_per_sec(), 0.1);
+  // And the app cannot remove the duplicate either.
+  EXPECT_EQ(TapDelete(k_, *app_, drains[0]), Status::kErrPermission);
+}
+
+TEST_F(CloneTest, CloneTaxActuallyDrains) {
+  ObjectId taxed = MakeTaxedReserve("taxed");
+  ObjectId clone = ReserveClone(k_, *engine_, *app_, taxed, k_.root_container_id(),
+                                Label(Level::k1), "clone")
+                       .value();
+  (void)ReserveTransfer(k_, *app_, battery_->id(), clone, ToQuantity(Energy::Joules(1.0)));
+  for (int i = 0; i < 100; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  // ~10% drained back over the simulated second.
+  Reserve* r = k_.LookupTyped<Reserve>(clone);
+  EXPECT_NEAR(r->energy().joules_f(), 0.9, 0.01);
+}
+
+TEST_F(CloneTest, PrivilegedCallerClonesWithoutInheritingDrains) {
+  // `sys` CAN remove the tax, so its clone is unencumbered.
+  ObjectId taxed = MakeTaxedReserve("taxed");
+  ObjectId clone = ReserveClone(k_, *engine_, *sys_, taxed, k_.root_container_id(),
+                                Label(Level::k1), "sys_clone")
+                       .value();
+  EXPECT_TRUE(engine_->TapsFromSource(clone).empty());
+}
+
+TEST_F(CloneTest, StrictTransferBlocksEscapeToSlowReserve) {
+  ObjectId taxed = MakeTaxedReserve("taxed");
+  (void)ReserveTransfer(k_, *app_, battery_->id(), taxed, ToQuantity(Energy::Joules(1.0)));
+  // A plain reserve with no drains: moving energy there would dodge the tax.
+  ObjectId plain =
+      ReserveCreate(k_, *app_, k_.root_container_id(), Label(Level::k1), "plain").value();
+  EXPECT_EQ(ReserveTransferStrict(k_, *engine_, *app_, taxed, plain, 1000),
+            Status::kErrPermission);
+  // Into an equally-taxed clone is fine.
+  ObjectId clone = ReserveClone(k_, *engine_, *app_, taxed, k_.root_container_id(),
+                                Label(Level::k1), "clone")
+                       .value();
+  EXPECT_EQ(ReserveTransferStrict(k_, *engine_, *app_, taxed, clone, 1000), Status::kOk);
+  // And moving toward a FASTER-draining reserve is always fine.
+  EXPECT_EQ(ReserveTransferStrict(k_, *engine_, *app_, plain, taxed, 0), Status::kOk);
+}
+
+TEST_F(CloneTest, StrictTransferAllowsPrivilegedCaller) {
+  ObjectId taxed = MakeTaxedReserve("taxed");
+  (void)ReserveTransfer(k_, *sys_, battery_->id(), taxed, ToQuantity(Energy::Joules(1.0)));
+  ObjectId plain =
+      ReserveCreate(k_, *sys_, k_.root_container_id(), Label(Level::k1), "plain").value();
+  // `sys` owns the tax tap, so the drain is not "locked" for it.
+  EXPECT_EQ(ReserveTransferStrict(k_, *engine_, *sys_, taxed, plain, 1000), Status::kOk);
+}
+
+TEST_F(CloneTest, CloneOfUnencumberedReserveIsPlain) {
+  ObjectId plain =
+      ReserveCreate(k_, *app_, k_.root_container_id(), Label(Level::k1), "plain").value();
+  ObjectId clone = ReserveClone(k_, *engine_, *app_, plain, k_.root_container_id(),
+                                Label(Level::k1), "clone")
+                       .value();
+  EXPECT_TRUE(engine_->TapsFromSource(clone).empty());
+}
+
+TEST_F(CloneTest, CloneValidation) {
+  EXPECT_EQ(ReserveClone(k_, *engine_, *app_, 99999, k_.root_container_id(), Label(Level::k1),
+                         "x")
+                .status(),
+            Status::kErrNotFound);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,98 @@
+#include "src/core/reserve.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+Reserve MakeReserve(ResourceKind kind = ResourceKind::kEnergy) {
+  return Reserve(1, Label(Level::k1), "r", kind);
+}
+
+TEST(ReserveTest, StartsEmpty) {
+  Reserve r = MakeReserve();
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.level(), 0);
+  EXPECT_EQ(r.kind(), ResourceKind::kEnergy);
+}
+
+TEST(ReserveTest, DepositAndConsume) {
+  Reserve r = MakeReserve();
+  r.DepositEnergy(Energy::Millijoules(1000));
+  EXPECT_EQ(r.energy(), Energy::Millijoules(1000));
+  EXPECT_EQ(r.ConsumeEnergy(Energy::Millijoules(200)), Status::kOk);
+  EXPECT_EQ(r.energy(), Energy::Millijoules(800));
+  EXPECT_EQ(r.total_consumed(), ToQuantity(Energy::Millijoules(200)));
+  EXPECT_EQ(r.total_deposited(), ToQuantity(Energy::Millijoules(1000)));
+}
+
+TEST(ReserveTest, ConsumeFailsWhenInsufficient) {
+  Reserve r = MakeReserve();
+  r.Deposit(100);
+  EXPECT_EQ(r.Consume(101), Status::kErrNoResource);
+  EXPECT_EQ(r.level(), 100);  // Unchanged on failure.
+  EXPECT_EQ(r.Consume(100), Status::kOk);
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(ReserveTest, ConsumeRejectsNegative) {
+  Reserve r = MakeReserve();
+  EXPECT_EQ(r.Consume(-5), Status::kErrInvalidArg);
+}
+
+TEST(ReserveTest, DebtAllowedWhenOptedIn) {
+  Reserve r = MakeReserve();
+  r.set_allow_debt(true);
+  r.Deposit(50);
+  EXPECT_EQ(r.Consume(80), Status::kOk);
+  EXPECT_EQ(r.level(), -30);
+  EXPECT_TRUE(r.IsEmpty());  // Debt counts as empty for scheduling.
+  // Paying off debt.
+  r.Deposit(100);
+  EXPECT_EQ(r.level(), 70);
+}
+
+TEST(ReserveTest, ConsumeUpToDrainsExactly) {
+  Reserve r = MakeReserve();
+  r.Deposit(100);
+  EXPECT_EQ(r.ConsumeUpTo(60), 60);
+  EXPECT_EQ(r.ConsumeUpTo(60), 40);  // Only 40 left.
+  EXPECT_EQ(r.ConsumeUpTo(60), 0);
+  EXPECT_EQ(r.level(), 0);
+}
+
+TEST(ReserveTest, WithdrawNeverGoesNegative) {
+  Reserve r = MakeReserve();
+  r.Deposit(10);
+  EXPECT_EQ(r.Withdraw(25), 10);
+  EXPECT_EQ(r.level(), 0);
+  EXPECT_EQ(r.Withdraw(5), 0);
+}
+
+TEST(ReserveTest, WithdrawDoesNotCountAsConsumption) {
+  Reserve r = MakeReserve();
+  r.Deposit(100);
+  (void)r.Withdraw(40);
+  EXPECT_EQ(r.total_consumed(), 0);  // Transfers are not consumption.
+}
+
+TEST(ReserveTest, NonEnergyKinds) {
+  Reserve bytes = MakeReserve(ResourceKind::kNetBytes);
+  bytes.Deposit(1500);
+  EXPECT_EQ(bytes.Consume(1500), Status::kOk);
+  EXPECT_EQ(bytes.Consume(1), Status::kErrNoResource);
+  Reserve sms = MakeReserve(ResourceKind::kSms);
+  sms.Deposit(3);
+  EXPECT_EQ(sms.Consume(1), Status::kOk);
+  EXPECT_EQ(sms.level(), 2);
+}
+
+TEST(ReserveTest, DecayExemptFlag) {
+  Reserve r = MakeReserve();
+  EXPECT_FALSE(r.decay_exempt());
+  r.set_decay_exempt(true);
+  EXPECT_TRUE(r.decay_exempt());
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,166 @@
+#include "src/core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : sched_(&k_) {}
+
+  Thread* NewThread(const char* name) {
+    Thread* t = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), name);
+    sched_.AddThread(t->id());
+    return t;
+  }
+  Reserve* NewReserve(const char* name, Energy level) {
+    Reserve* r = k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), name);
+    r->DepositEnergy(level);
+    return r;
+  }
+
+  Kernel k_;
+  EnergyAwareScheduler sched_;
+};
+
+TEST_F(SchedulerTest, ThreadWithoutReserveNeverRuns) {
+  Thread* t = NewThread("t");
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), kInvalidObjectId);
+  EXPECT_GT(t->quanta_denied(), 0);
+}
+
+TEST_F(SchedulerTest, ThreadWithEnergyRuns) {
+  Thread* t = NewThread("t");
+  Reserve* r = NewReserve("r", Energy::Millijoules(10));
+  t->set_active_reserve(r->id());
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+}
+
+TEST_F(SchedulerTest, EmptyReserveStopsThread) {
+  Thread* t = NewThread("t");
+  Reserve* r = NewReserve("r", Energy::Zero());
+  t->set_active_reserve(r->id());
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), kInvalidObjectId);
+  r->DepositEnergy(Energy::Microjoules(1));
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+}
+
+TEST_F(SchedulerTest, RoundRobinAlternates) {
+  Thread* a = NewThread("a");
+  Thread* b = NewThread("b");
+  Reserve* ra = NewReserve("ra", Energy::Joules(1.0));
+  Reserve* rb = NewReserve("rb", Energy::Joules(1.0));
+  a->set_active_reserve(ra->id());
+  b->set_active_reserve(rb->id());
+  ObjectId first = sched_.PickNext(SimTime::Zero());
+  ObjectId second = sched_.PickNext(SimTime::Zero());
+  ObjectId third = sched_.PickNext(SimTime::Zero());
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST_F(SchedulerTest, StarvedThreadSkippedOthersRun) {
+  Thread* a = NewThread("a");
+  Thread* b = NewThread("b");
+  Reserve* ra = NewReserve("ra", Energy::Zero());
+  Reserve* rb = NewReserve("rb", Energy::Joules(1.0));
+  a->set_active_reserve(ra->id());
+  b->set_active_reserve(rb->id());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sched_.PickNext(SimTime::Zero()), b->id());
+  }
+  EXPECT_GE(a->quanta_denied(), 5);
+}
+
+TEST_F(SchedulerTest, SleepingThreadWakesOnDeadline) {
+  Thread* t = NewThread("t");
+  Reserve* r = NewReserve("r", Energy::Joules(1.0));
+  t->set_active_reserve(r->id());
+  t->SleepUntil(SimTime::FromMicros(5000));
+  EXPECT_EQ(sched_.PickNext(SimTime::FromMicros(1000)), kInvalidObjectId);
+  EXPECT_EQ(sched_.PickNext(SimTime::FromMicros(5000)), t->id());
+  EXPECT_EQ(t->state(), ThreadState::kRunnable);
+}
+
+TEST_F(SchedulerTest, BlockedThreadNeedsExplicitWake) {
+  Thread* t = NewThread("t");
+  Reserve* r = NewReserve("r", Energy::Joules(1.0));
+  t->set_active_reserve(r->id());
+  t->Block();
+  EXPECT_EQ(sched_.PickNext(SimTime::Max()), kInvalidObjectId);
+  t->Wake();
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+}
+
+TEST_F(SchedulerTest, HaltedThreadNeverRuns) {
+  Thread* t = NewThread("t");
+  Reserve* r = NewReserve("r", Energy::Joules(1.0));
+  t->set_active_reserve(r->id());
+  t->Halt();
+  t->Wake();  // Wake must not resurrect a halted thread.
+  EXPECT_EQ(t->state(), ThreadState::kHalted);
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), kInvalidObjectId);
+}
+
+TEST_F(SchedulerTest, ChargeCpuBillsActiveReserveFirst) {
+  Thread* t = NewThread("t");
+  Reserve* active = NewReserve("active", Energy::Microjoules(200));
+  Reserve* backup = NewReserve("backup", Energy::Microjoules(200));
+  t->set_active_reserve(active->id());
+  t->AttachReserve(backup->id());
+  Energy billed = sched_.ChargeCpu(*t, Energy::Microjoules(137));
+  EXPECT_EQ(billed, Energy::Microjoules(137));
+  EXPECT_EQ(active->energy(), Energy::Microjoules(63));
+  EXPECT_EQ(backup->energy(), Energy::Microjoules(200));
+}
+
+TEST_F(SchedulerTest, ChargeCpuSpillsToAttachedReserves) {
+  Thread* t = NewThread("t");
+  Reserve* active = NewReserve("active", Energy::Microjoules(100));
+  Reserve* backup = NewReserve("backup", Energy::Microjoules(100));
+  t->set_active_reserve(active->id());
+  t->AttachReserve(backup->id());
+  Energy billed = sched_.ChargeCpu(*t, Energy::Microjoules(137));
+  EXPECT_EQ(billed, Energy::Microjoules(137));
+  EXPECT_EQ(active->level(), 0);
+  EXPECT_EQ(backup->energy(), Energy::Microjoules(63));
+  EXPECT_EQ(t->cpu_energy_billed(), Energy::Microjoules(137));
+}
+
+TEST_F(SchedulerTest, ChargeCpuDipsIntoBoundedDebt) {
+  // A thread with a sliver of energy still gets a full quantum (the CPU ran
+  // at full power) and the balance becomes debt, after which the scheduler
+  // denies it until income repays the hole.
+  Thread* t = NewThread("t");
+  Reserve* active = NewReserve("active", Energy::Microjoules(50));
+  t->set_active_reserve(active->id());
+  Energy billed = sched_.ChargeCpu(*t, Energy::Microjoules(137));
+  EXPECT_EQ(billed, Energy::Microjoules(137));
+  EXPECT_EQ(active->energy(), -Energy::Microjoules(87));
+  EXPECT_FALSE(active->allow_debt());  // Debt allowance was charge-scoped.
+  EXPECT_FALSE(sched_.HasEnergy(*t));
+  active->DepositEnergy(Energy::Microjoules(100));
+  EXPECT_TRUE(sched_.HasEnergy(*t));
+}
+
+TEST_F(SchedulerTest, DeletedThreadRemovedFromQueue) {
+  Thread* a = NewThread("a");
+  Thread* b = NewThread("b");
+  Reserve* r = NewReserve("r", Energy::Joules(1.0));
+  a->set_active_reserve(r->id());
+  b->set_active_reserve(r->id());
+  EXPECT_EQ(sched_.threads().size(), 2u);
+  (void)k_.Delete(a->id());
+  EXPECT_EQ(sched_.threads().size(), 1u);
+  EXPECT_EQ(sched_.PickNext(SimTime::Zero()), b->id());
+}
+
+TEST_F(SchedulerTest, AddThreadIsIdempotent) {
+  Thread* t = NewThread("t");
+  sched_.AddThread(t->id());
+  EXPECT_EQ(sched_.threads().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,211 @@
+#include "src/core/syscalls.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+class SyscallsTest : public ::testing::Test {
+ protected:
+  SyscallsTest() {
+    battery_ = k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), "battery");
+    battery_->set_decay_exempt(true);
+    battery_->Deposit(ToQuantity(Energy::Joules(15000.0)));
+    engine_ = std::make_unique<TapEngine>(&k_, battery_->id());
+    thread_ = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "app");
+  }
+
+  Kernel k_;
+  Reserve* battery_ = nullptr;
+  std::unique_ptr<TapEngine> engine_;
+  Thread* thread_ = nullptr;
+};
+
+TEST_F(SyscallsTest, ReserveCreateAndLevel) {
+  Result<ObjectId> r =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "r");
+  ASSERT_TRUE(r.ok());
+  Result<Quantity> level = ReserveLevel(k_, *thread_, r.value());
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level.value(), 0);
+}
+
+TEST_F(SyscallsTest, ReserveCreateNeedsContainerWriteAccess) {
+  // A container at integrity level 0 rejects unprivileged creators.
+  Category cat = k_.categories().Allocate();
+  Label locked(Level::k1);
+  locked.Set(cat, Level::k0);
+  Container* c = k_.Create<Container>(k_.root_container_id(), locked, "locked");
+  Result<ObjectId> r = ReserveCreate(k_, *thread_, c->id(), Label(Level::k1), "r");
+  EXPECT_EQ(r.status(), Status::kErrPermission);
+  thread_->GrantPrivilege(cat);
+  EXPECT_TRUE(ReserveCreate(k_, *thread_, c->id(), Label(Level::k1), "r").ok());
+}
+
+TEST_F(SyscallsTest, TransferMovesQuantity) {
+  ObjectId a = ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "a").value();
+  ObjectId b = ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "b").value();
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, battery_->id(), a, 1000), Status::kOk);
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, a, b, 400), Status::kOk);
+  EXPECT_EQ(ReserveLevel(k_, *thread_, a).value(), 600);
+  EXPECT_EQ(ReserveLevel(k_, *thread_, b).value(), 400);
+}
+
+TEST_F(SyscallsTest, TransferValidation) {
+  ObjectId a = ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "a").value();
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, a, a, 10), Status::kErrInvalidArg);
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, a, 9999, 10), Status::kErrNotFound);
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, a, battery_->id(), -1), Status::kErrInvalidArg);
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, a, battery_->id(), 10), Status::kErrNoResource);
+  ObjectId bytes = ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "n",
+                                 ResourceKind::kNetBytes)
+                       .value();
+  EXPECT_EQ(ReserveTransfer(k_, *thread_, battery_->id(), bytes, 10), Status::kErrWrongType);
+}
+
+TEST_F(SyscallsTest, SubdivisionViaSplit) {
+  // "An application granted 1000 mJ can subdivide its reserve into an 800 mJ
+  // and a 200 mJ reserve" (section 3.2).
+  ObjectId mine =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "mine").value();
+  (void)ReserveTransfer(k_, *thread_, battery_->id(), mine, ToQuantity(Energy::Millijoules(1000)));
+  Result<ObjectId> child = ReserveSplit(k_, *thread_, mine, ToQuantity(Energy::Millijoules(200)),
+                                        k_.root_container_id(), Label(Level::k1), "child");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(ReserveLevel(k_, *thread_, mine).value(), ToQuantity(Energy::Millijoules(800)));
+  EXPECT_EQ(ReserveLevel(k_, *thread_, child.value()).value(),
+            ToQuantity(Energy::Millijoules(200)));
+}
+
+TEST_F(SyscallsTest, SplitFailsCleanlyWhenUnderfunded) {
+  ObjectId mine =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "mine").value();
+  size_t count_before = k_.object_count();
+  Result<ObjectId> child = ReserveSplit(k_, *thread_, mine, 100, k_.root_container_id(),
+                                        Label(Level::k1), "child");
+  EXPECT_FALSE(child.ok());
+  EXPECT_EQ(k_.object_count(), count_before);  // No leaked reserve.
+}
+
+TEST_F(SyscallsTest, LabelGuardsReserveAccess) {
+  Category cat = k_.categories().Allocate();
+  Label secret(Level::k1);
+  secret.Set(cat, Level::k3);
+  Reserve* guarded = k_.Create<Reserve>(k_.root_container_id(), secret, "g");
+  guarded->Deposit(100);
+  EXPECT_EQ(ReserveLevel(k_, *thread_, guarded->id()).status(), Status::kErrPermission);
+  EXPECT_EQ(ReserveConsume(k_, *thread_, guarded->id(), 10), Status::kErrPermission);
+  thread_->GrantPrivilege(cat);
+  EXPECT_TRUE(ReserveLevel(k_, *thread_, guarded->id()).ok());
+  EXPECT_EQ(ReserveConsume(k_, *thread_, guarded->id(), 10), Status::kOk);
+}
+
+TEST_F(SyscallsTest, TapCreateRequiresUseOnBothEndpoints) {
+  Category cat = k_.categories().Allocate();
+  Label secret(Level::k1);
+  secret.Set(cat, Level::k3);
+  Reserve* guarded = k_.Create<Reserve>(k_.root_container_id(), secret, "g");
+  ObjectId open =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "o").value();
+  Result<ObjectId> tap = TapCreate(k_, *engine_, *thread_, k_.root_container_id(), guarded->id(),
+                                   open, Label(Level::k1), "t");
+  EXPECT_EQ(tap.status(), Status::kErrPermission);
+  thread_->GrantPrivilege(cat);
+  EXPECT_TRUE(TapCreate(k_, *engine_, *thread_, k_.root_container_id(), guarded->id(), open,
+                        Label(Level::k1), "t")
+                  .ok());
+}
+
+TEST_F(SyscallsTest, TapCreateEmbedsCreatorCredentials) {
+  // After the creator loses its privilege, the tap keeps flowing with the
+  // embedded credentials (section 3.5).
+  Category cat = k_.categories().Allocate();
+  Label secret(Level::k1);
+  secret.Set(cat, Level::k3);
+  Reserve* guarded = k_.Create<Reserve>(k_.root_container_id(), secret, "g");
+  guarded->Deposit(ToQuantity(Energy::Joules(1.0)));
+  ObjectId open =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "o").value();
+  thread_->GrantPrivilege(cat);
+  ObjectId tap = TapCreate(k_, *engine_, *thread_, k_.root_container_id(), guarded->id(), open,
+                           Label(Level::k1), "t")
+                     .value();
+  (void)TapSetConstantPower(k_, *thread_, tap, Power::Milliwatts(100));
+  thread_->mutable_privileges()->Remove(cat);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_GT(ReserveLevel(k_, *thread_, open).value(), 0);
+}
+
+TEST_F(SyscallsTest, TapRateChangesRequireModify) {
+  ObjectId open =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "o").value();
+  Category cat = k_.categories().Allocate();
+  thread_->GrantPrivilege(cat);
+  Label tap_label(Level::k1);
+  tap_label.Set(cat, Level::k0);  // Integrity-protected tap.
+  ObjectId tap = TapCreate(k_, *engine_, *thread_, k_.root_container_id(), battery_->id(), open,
+                           tap_label, "t")
+                     .value();
+  // An unprivileged thread cannot retune or disable it.
+  Thread* other = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "other");
+  EXPECT_EQ(TapSetConstantPower(k_, *other, tap, Power::Milliwatts(999)),
+            Status::kErrPermission);
+  EXPECT_EQ(TapSetEnabled(k_, *other, tap, false), Status::kErrPermission);
+  EXPECT_EQ(TapDelete(k_, *other, tap), Status::kErrPermission);
+  // The owner can.
+  EXPECT_EQ(TapSetConstantPower(k_, *thread_, tap, Power::Milliwatts(10)), Status::kOk);
+  EXPECT_EQ(TapSetProportionalRate(k_, *thread_, tap, 0.5), Status::kOk);
+  EXPECT_EQ(TapSetEnabled(k_, *thread_, tap, false), Status::kOk);
+  EXPECT_EQ(TapDelete(k_, *thread_, tap), Status::kOk);
+}
+
+TEST_F(SyscallsTest, TapRateValidation) {
+  ObjectId open =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "o").value();
+  ObjectId tap = TapCreate(k_, *engine_, *thread_, k_.root_container_id(), battery_->id(), open,
+                           Label(Level::k1), "t")
+                     .value();
+  EXPECT_EQ(TapSetConstantRate(k_, *thread_, tap, -5), Status::kErrInvalidArg);
+  EXPECT_EQ(TapSetProportionalRate(k_, *thread_, tap, -0.1), Status::kErrInvalidArg);
+  EXPECT_EQ(TapSetConstantRate(k_, *thread_, 9999, 5), Status::kErrNotFound);
+}
+
+TEST_F(SyscallsTest, SelfSetActiveReserve) {
+  ObjectId mine =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "mine").value();
+  EXPECT_EQ(SelfSetActiveReserve(k_, *thread_, mine), Status::kOk);
+  EXPECT_EQ(thread_->active_reserve(), mine);
+  EXPECT_TRUE(thread_->IsAttached(mine));
+  EXPECT_EQ(SelfSetActiveReserve(k_, *thread_, 9999), Status::kErrNotFound);
+}
+
+TEST_F(SyscallsTest, SelfAttachReserveDelegation) {
+  // Delegation: another principal attaches a donated reserve and may draw
+  // from it alongside its own.
+  ObjectId donated =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "gift").value();
+  Thread* other = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "other");
+  EXPECT_EQ(SelfAttachReserve(k_, *other, donated), Status::kOk);
+  EXPECT_TRUE(other->IsAttached(donated));
+}
+
+TEST_F(SyscallsTest, ReserveDeleteChecksPermissions) {
+  Category cat = k_.categories().Allocate();
+  Label secret(Level::k1);
+  secret.Set(cat, Level::k0);
+  Reserve* guarded = k_.Create<Reserve>(k_.root_container_id(), secret, "g");
+  EXPECT_EQ(ReserveDelete(k_, *thread_, guarded->id()), Status::kErrPermission);
+  thread_->GrantPrivilege(cat);
+  EXPECT_EQ(ReserveDelete(k_, *thread_, guarded->id()), Status::kOk);
+}
+
+TEST_F(SyscallsTest, ConsumedAccountingVisible) {
+  ObjectId mine =
+      ReserveCreate(k_, *thread_, k_.root_container_id(), Label(Level::k1), "mine").value();
+  (void)ReserveTransfer(k_, *thread_, battery_->id(), mine, 1000);
+  (void)ReserveConsume(k_, *thread_, mine, 250);
+  EXPECT_EQ(ReserveConsumed(k_, *thread_, mine).value(), 250);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,255 @@
+#include "src/core/tap_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+class TapEngineTest : public ::testing::Test {
+ protected:
+  TapEngineTest() {
+    battery_ = k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), "battery");
+    battery_->set_decay_exempt(true);
+    battery_->Deposit(ToQuantity(Energy::Joules(15000.0)));
+    engine_ = std::make_unique<TapEngine>(&k_, battery_->id());
+    engine_->decay().enabled = false;  // Individual tests opt in.
+  }
+
+  Reserve* NewReserve(const char* name) {
+    return k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), name);
+  }
+  Tap* NewTap(ObjectId src, ObjectId dst, const char* name) {
+    Tap* t = k_.Create<Tap>(k_.root_container_id(), Label(Level::k1), name, src, dst);
+    EXPECT_TRUE(engine_->Register(t->id()));
+    return t;
+  }
+
+  Quantity TotalInSystem() {
+    Quantity total = 0;
+    for (ObjectId id : k_.ObjectsOfType(ObjectType::kReserve)) {
+      total += k_.LookupTyped<Reserve>(id)->level();
+    }
+    return total;
+  }
+
+  Kernel k_;
+  Reserve* battery_ = nullptr;
+  std::unique_ptr<TapEngine> engine_;
+};
+
+TEST_F(TapEngineTest, ConstantTapDeliversExactRate) {
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  tap->SetConstantPower(Power::Milliwatts(750));
+  // 100 batches of 10 ms = 1 s -> 750 mJ, exact.
+  for (int i = 0; i < 100; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(app->energy(), Energy::Millijoules(750));
+}
+
+TEST_F(TapEngineTest, LowRateTapCarriesRemainder) {
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  // 1 uW = 1000 nJ/s = 10 nJ per 10 ms batch: integers flow fine. Use an even
+  // smaller rate via the raw quantity API: 1 nJ/s -> 0.01 nJ per batch.
+  tap->SetConstantRate(1);
+  for (int i = 0; i < 100; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  // After exactly 1 s, exactly 1 nJ has moved (carry made it exact).
+  EXPECT_EQ(app->level(), 1);
+}
+
+TEST_F(TapEngineTest, TapStopsWhenSourceEmpty) {
+  Reserve* small = NewReserve("small");
+  small->Deposit(500);
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(small->id(), app->id(), "tap");
+  tap->SetConstantRate(1000000);  // Way more than available.
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(app->level(), 500);
+  EXPECT_EQ(small->level(), 0);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(app->level(), 500);  // Nothing more to move.
+}
+
+TEST_F(TapEngineTest, ProportionalTapMovesFractionOfSource) {
+  Reserve* src = NewReserve("src");
+  src->Deposit(1000000);
+  Reserve* dst = NewReserve("dst");
+  Tap* tap = NewTap(src->id(), dst->id(), "tap");
+  tap->SetProportionalRate(0.1);  // 10%/s.
+  engine_->RunBatch(Duration::Seconds(1));
+  EXPECT_EQ(dst->level(), 100000);
+  EXPECT_EQ(src->level(), 900000);
+}
+
+TEST_F(TapEngineTest, BackwardProportionalEquilibrium) {
+  // Figure 6b: constant 70 mW in, 0.1/s back out -> equilibrium 700 mJ.
+  Reserve* app = NewReserve("app");
+  Tap* fwd = NewTap(battery_->id(), app->id(), "fwd");
+  fwd->SetConstantPower(Power::Milliwatts(70));
+  Tap* back = NewTap(app->id(), battery_->id(), "back");
+  back->SetProportionalRate(0.1);
+  for (int i = 0; i < 60000; ++i) {  // 10 simulated minutes of 10 ms batches.
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  EXPECT_NEAR(app->energy().millijoules_f(), 700.0, 10.0);
+}
+
+TEST_F(TapEngineTest, DisabledTapDoesNotFlow) {
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  tap->SetConstantPower(Power::Milliwatts(100));
+  tap->set_enabled(false);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(app->level(), 0);
+  tap->set_enabled(true);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_GT(app->level(), 0);
+}
+
+TEST_F(TapEngineTest, RegistrationRejectsBadEndpoints) {
+  Reserve* app = NewReserve("app");
+  // Same source and sink.
+  Tap* self_loop =
+      k_.Create<Tap>(k_.root_container_id(), Label(Level::k1), "loop", app->id(), app->id());
+  EXPECT_FALSE(engine_->Register(self_loop->id()));
+  // Mismatched kinds.
+  Reserve* bytes = k_.Create<Reserve>(k_.root_container_id(), Label(Level::k1), "bytes",
+                                      ResourceKind::kNetBytes);
+  Tap* mixed = k_.Create<Tap>(k_.root_container_id(), Label(Level::k1), "mixed", app->id(),
+                              bytes->id());
+  EXPECT_FALSE(engine_->Register(mixed->id()));
+  // Nonexistent tap.
+  EXPECT_FALSE(engine_->Register(99999));
+  // Double registration is idempotent.
+  Tap* ok = k_.Create<Tap>(k_.root_container_id(), Label(Level::k1), "ok", battery_->id(),
+                           app->id());
+  EXPECT_TRUE(engine_->Register(ok->id()));
+  EXPECT_TRUE(engine_->Register(ok->id()));
+  EXPECT_EQ(engine_->tap_count(), 1u);  // Only `ok`; self_loop/mixed rejected.
+}
+
+TEST_F(TapEngineTest, DeletedTapStopsFlowing) {
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  tap->SetConstantPower(Power::Milliwatts(100));
+  engine_->RunBatch(Duration::Millis(10));
+  Quantity before = app->level();
+  EXPECT_EQ(k_.Delete(tap->id()), Status::kOk);
+  EXPECT_EQ(engine_->tap_count(), 0u);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(app->level(), before);
+}
+
+TEST_F(TapEngineTest, TapWithDeletedEndpointIsInert) {
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  tap->SetConstantPower(Power::Milliwatts(100));
+  ObjectId app_id = app->id();
+  EXPECT_EQ(k_.Delete(app_id), Status::kOk);
+  engine_->RunBatch(Duration::Millis(10));  // Must not crash or move energy.
+  EXPECT_EQ(engine_->total_tap_flow(), 0);
+}
+
+TEST_F(TapEngineTest, EmbeddedPrivilegesGateFlows) {
+  // A tap whose endpoints are protected by a category only flows if the
+  // creator's credentials (embedded) own the category.
+  Category cat = k_.categories().Allocate();
+  Label guarded(Level::k1);
+  guarded.Set(cat, Level::k3);
+  Reserve* src = k_.Create<Reserve>(k_.root_container_id(), guarded, "src");
+  src->Deposit(1000);
+  Reserve* dst = NewReserve("dst");
+  Tap* tap = NewTap(src->id(), dst->id(), "tap");
+  tap->SetConstantRate(1000000);
+  // No credentials: no flow.
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(dst->level(), 0);
+  // Embed owning credentials: flows.
+  CategorySet privs;
+  privs.Add(cat);
+  tap->EmbedCredentials(Label(Level::k1), privs);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(dst->level(), 1000);
+}
+
+TEST_F(TapEngineTest, ProportionalSharingOfConstrainedSource) {
+  // Two 14 mW taps draining a reserve fed at 14 mW: each should get ~7 mW,
+  // not first-registered-takes-all (the Figure 7 background pool).
+  Reserve* bg = NewReserve("bg");
+  Tap* feed = NewTap(battery_->id(), bg->id(), "feed");
+  feed->SetConstantPower(Power::Milliwatts(14));
+  Reserve* a = NewReserve("a");
+  Reserve* b = NewReserve("b");
+  Tap* ta = NewTap(bg->id(), a->id(), "ta");
+  ta->SetConstantPower(Power::Milliwatts(14));
+  Tap* tb = NewTap(bg->id(), b->id(), "tb");
+  tb->SetConstantPower(Power::Milliwatts(14));
+  for (int i = 0; i < 1000; ++i) {  // 10 s.
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  const double total = a->energy().millijoules_f() + b->energy().millijoules_f();
+  EXPECT_NEAR(total, 140.0, 5.0);  // All 14 mW delivered.
+  EXPECT_NEAR(a->energy().millijoules_f(), 70.0, 15.0);
+  EXPECT_NEAR(b->energy().millijoules_f(), 70.0, 15.0);
+}
+
+TEST_F(TapEngineTest, DecayHalfLife) {
+  engine_->decay().enabled = true;
+  engine_->decay().half_life = Duration::Minutes(10);
+  Reserve* hoard = NewReserve("hoard");
+  hoard->Deposit(ToQuantity(Energy::Joules(10.0)));
+  Quantity battery_before = battery_->level();
+  // Run 10 minutes of batches.
+  for (int i = 0; i < 60000; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  // Half the hoard leaked back to the battery (paper: 50% per 10 min).
+  EXPECT_NEAR(hoard->energy().joules_f(), 5.0, 0.05);
+  EXPECT_NEAR(ToEnergy(battery_->level() - battery_before).joules_f(), 5.0, 0.05);
+}
+
+TEST_F(TapEngineTest, DecayExemptReservesKeepEnergy) {
+  engine_->decay().enabled = true;
+  Reserve* pool = NewReserve("pool");
+  pool->set_decay_exempt(true);
+  pool->Deposit(ToQuantity(Energy::Joules(10.0)));
+  for (int i = 0; i < 60000; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(pool->energy(), Energy::Joules(10.0));
+}
+
+TEST_F(TapEngineTest, ConservationExactUnderMixedFlows) {
+  engine_->decay().enabled = true;
+  Reserve* a = NewReserve("a");
+  Reserve* b = NewReserve("b");
+  Reserve* c = NewReserve("c");
+  NewTap(battery_->id(), a->id(), "t1")->SetConstantPower(Power::Milliwatts(137));
+  NewTap(a->id(), b->id(), "t2")->SetProportionalRate(0.2);
+  NewTap(b->id(), c->id(), "t3")->SetConstantPower(Power::Milliwatts(5));
+  NewTap(c->id(), battery_->id(), "t4")->SetProportionalRate(0.1);
+  const Quantity before = TotalInSystem();
+  for (int i = 0; i < 12345; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(TotalInSystem(), before);  // Exact to the nanojoule.
+}
+
+TEST_F(TapEngineTest, ZeroAndNegativeBatchDurationsAreNoOps) {
+  Reserve* app = NewReserve("app");
+  NewTap(battery_->id(), app->id(), "t")->SetConstantPower(Power::Milliwatts(100));
+  engine_->RunBatch(Duration::Zero());
+  engine_->RunBatch(Duration::Millis(-5));
+  EXPECT_EQ(app->level(), 0);
+}
+
+}  // namespace
+}  // namespace cinder

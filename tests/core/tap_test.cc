@@ -1,0 +1,62 @@
+#include "src/core/tap.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+Tap MakeTap() { return Tap(5, Label(Level::k1), "t", 1, 2); }
+
+TEST(TapTest, Endpoints) {
+  Tap t = MakeTap();
+  EXPECT_EQ(t.source(), 1u);
+  EXPECT_EQ(t.sink(), 2u);
+  EXPECT_TRUE(t.enabled());
+}
+
+TEST(TapTest, ConstantRateSetters) {
+  Tap t = MakeTap();
+  t.SetConstantPower(Power::Milliwatts(750));
+  EXPECT_EQ(t.tap_type(), TapType::kConstant);
+  EXPECT_EQ(t.rate_per_sec(), 750000000);  // nJ/s
+  t.SetConstantRate(-5);
+  EXPECT_EQ(t.rate_per_sec(), 0);  // Clamped.
+}
+
+TEST(TapTest, ProportionalRateSetters) {
+  Tap t = MakeTap();
+  t.SetProportionalRate(0.1);
+  EXPECT_EQ(t.tap_type(), TapType::kProportional);
+  EXPECT_DOUBLE_EQ(t.fraction_per_sec(), 0.1);
+  t.SetProportionalRate(-1.0);
+  EXPECT_DOUBLE_EQ(t.fraction_per_sec(), 0.0);
+}
+
+TEST(TapTest, RateUnitConversions) {
+  // 1 uW == 1000 nJ/s; round trips through Power.
+  EXPECT_EQ(RateFromPower(Power::Microwatts(1)), 1000);
+  EXPECT_EQ(PowerFromRate(1000).uw(), 1);
+  EXPECT_EQ(RateFromPower(Power::Milliwatts(137)), 137000000);
+}
+
+TEST(TapTest, CredentialEmbedding) {
+  Tap t = MakeTap();
+  Label actor(Level::k2);
+  CategorySet privs;
+  privs.Add(42);
+  t.EmbedCredentials(actor, privs);
+  EXPECT_EQ(t.actor_label().default_level(), Level::k2);
+  EXPECT_TRUE(t.embedded_privileges().Contains(42));
+}
+
+TEST(TapTest, FlowBookkeeping) {
+  Tap t = MakeTap();
+  t.AddTransferred(100);
+  t.AddTransferred(50);
+  EXPECT_EQ(t.total_transferred(), 150);
+  t.set_carry(0.75);
+  EXPECT_DOUBLE_EQ(t.carry(), 0.75);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,46 @@
+#include "src/energy/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(BatteryTest, DrainsAndReportsLevel) {
+  Battery b(Energy::Joules(100.0));
+  EXPECT_EQ(b.LevelPercent(), 100);
+  EXPECT_EQ(b.Drain(Energy::Joules(25.0)), Energy::Joules(25.0));
+  EXPECT_EQ(b.LevelPercent(), 75);
+  EXPECT_EQ(b.drained(), Energy::Joules(25.0));
+  EXPECT_FALSE(b.IsEmpty());
+}
+
+TEST(BatteryTest, DrainClampsAtEmpty) {
+  Battery b(Energy::Joules(1.0));
+  EXPECT_EQ(b.Drain(Energy::Joules(5.0)), Energy::Joules(1.0));
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_EQ(b.LevelPercent(), 0);
+  EXPECT_EQ(b.Drain(Energy::Joules(1.0)), Energy::Zero());
+}
+
+TEST(BatteryTest, NegativeDrainIsIgnored) {
+  Battery b(Energy::Joules(1.0));
+  EXPECT_EQ(b.Drain(-Energy::Joules(1.0)), Energy::Zero());
+  EXPECT_EQ(b.remaining(), Energy::Joules(1.0));
+}
+
+TEST(BatteryTest, ChargeClampsAtCapacity) {
+  Battery b(Energy::Joules(10.0));
+  (void)b.Drain(Energy::Joules(4.0));
+  b.Charge(Energy::Joules(100.0));
+  EXPECT_EQ(b.remaining(), Energy::Joules(10.0));
+}
+
+TEST(BatteryTest, PercentIsCoarseInteger) {
+  // The ARM9 only exposes 0..100 — check truncation behavior.
+  Battery b(Energy::Joules(1000.0));
+  (void)b.Drain(Energy::Joules(5.0));
+  EXPECT_EQ(b.LevelPercent(), 99);  // 99.5% truncates to 99.
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,50 @@
+#include "src/energy/meter.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(MeterTest, RecordsTotalsAndBreakdowns) {
+  EnergyMeter m;
+  m.Record(Component::kCpu, 10, Energy::Millijoules(5));
+  m.Record(Component::kCpu, 11, Energy::Millijoules(3));
+  m.Record(Component::kRadio, 10, Energy::Millijoules(7));
+  m.Record(Component::kBaseline, kSystemPrincipal, Energy::Millijoules(100));
+
+  EXPECT_EQ(m.Total(), Energy::Millijoules(115));
+  EXPECT_EQ(m.ForComponent(Component::kCpu), Energy::Millijoules(8));
+  EXPECT_EQ(m.ForComponent(Component::kRadio), Energy::Millijoules(7));
+  EXPECT_EQ(m.ForPrincipal(10), Energy::Millijoules(12));
+  EXPECT_EQ(m.ForPrincipal(11), Energy::Millijoules(3));
+  EXPECT_EQ(m.ForPrincipalComponent(10, Component::kRadio), Energy::Millijoules(7));
+  EXPECT_EQ(m.ForPrincipalComponent(11, Component::kRadio), Energy::Zero());
+}
+
+TEST(MeterTest, PrincipalsSortedUnique) {
+  EnergyMeter m;
+  m.Record(Component::kCpu, 30, Energy::Millijoules(1));
+  m.Record(Component::kRadio, 10, Energy::Millijoules(1));
+  m.Record(Component::kCpu, 10, Energy::Millijoules(1));
+  auto p = m.Principals();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 10u);
+  EXPECT_EQ(p[1], 30u);
+}
+
+TEST(MeterTest, ResetClearsEverything) {
+  EnergyMeter m;
+  m.Record(Component::kCpu, 10, Energy::Millijoules(5));
+  m.Reset();
+  EXPECT_EQ(m.Total(), Energy::Zero());
+  EXPECT_EQ(m.ForPrincipal(10), Energy::Zero());
+  EXPECT_TRUE(m.Principals().empty());
+}
+
+TEST(MeterTest, UnknownPrincipalIsZero) {
+  EnergyMeter m;
+  EXPECT_EQ(m.ForPrincipal(999), Energy::Zero());
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,52 @@
+#include "src/energy/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(PowerModelTest, PaperConstants) {
+  const PowerModel& m = DefaultDreamModel();
+  // Section 4.2 measurements.
+  EXPECT_EQ(m.idle_baseline.uw(), 699000);
+  EXPECT_EQ(m.backlight.uw(), 555000);
+  EXPECT_EQ(m.cpu_active.uw(), 137000);
+  EXPECT_DOUBLE_EQ(m.cpu_memory_premium, 0.13);
+  // Section 4.3: 20 s forced inactivity timeout.
+  EXPECT_EQ(m.radio_idle_timeout.secs(), 20);
+}
+
+TEST(PowerModelTest, NominalActivationOverheadIsNinePointFiveJoules) {
+  const PowerModel& m = DefaultDreamModel();
+  EXPECT_DOUBLE_EQ(m.NominalActivationOverhead().joules_f(), 9.5);
+}
+
+TEST(PowerModelTest, SmallTransfersVastlyMoreExpensivePerByte) {
+  // Section 4.3: "small isolated transfers are about 1000 times more
+  // expensive, per byte, than large transfers."
+  const PowerModel& m = DefaultDreamModel();
+  const double isolated_byte_cost = m.NominalActivationOverhead().joules_f();  // 1 byte alone.
+  const double bulk_byte_cost = m.radio_energy_per_byte.joules_f();
+  EXPECT_GT(isolated_byte_cost / bulk_byte_cost, 1000.0);
+}
+
+TEST(PowerModelTest, ComponentNames) {
+  EXPECT_EQ(ComponentName(Component::kBaseline), "baseline");
+  EXPECT_EQ(ComponentName(Component::kCpu), "cpu");
+  EXPECT_EQ(ComponentName(Component::kBacklight), "backlight");
+  EXPECT_EQ(ComponentName(Component::kRadio), "radio");
+  EXPECT_EQ(ComponentName(Component::kNetBytes), "net_bytes");
+}
+
+TEST(PowerModelTest, BatteryCapacityMatchesFigureOne) {
+  EXPECT_DOUBLE_EQ(DefaultDreamModel().battery_capacity.joules_f(), 15000.0);
+}
+
+TEST(LaptopPowerModelTest, Defaults) {
+  LaptopPowerModel m;
+  EXPECT_GT(m.idle_baseline.uw(), 0);
+  EXPECT_GT(m.net_energy_per_byte.nj(), 0);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,122 @@
+#include "src/histar/gate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/histar/kernel.h"
+
+namespace cinder {
+namespace {
+
+class GateTest : public ::testing::Test {
+ protected:
+  GateTest() {
+    caller_ = k_.Create<Thread>(k_.root_container_id(), Label(Level::k1), "client");
+    server_as_ = k_.Create<AddressSpace>(k_.root_container_id(), Label(Level::k1), "srv_as");
+    caller_as_ = k_.Create<AddressSpace>(k_.root_container_id(), Label(Level::k1), "cli_as");
+    caller_->set_home_address_space(caller_as_->id());
+  }
+
+  Kernel k_;
+  Thread* caller_ = nullptr;
+  AddressSpace* server_as_ = nullptr;
+  AddressSpace* caller_as_ = nullptr;
+};
+
+TEST_F(GateTest, CallInvokesHandlerWithArgs) {
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "g", server_as_->id());
+  g->set_handler([](Thread& t, const GateMessage& msg) {
+    (void)t;
+    GateReply r;
+    r.rets.push_back(msg.args[0] * 2);
+    return r;
+  });
+  GateMessage msg;
+  msg.opcode = 1;
+  msg.args.push_back(21);
+  GateReply reply = k_.GateCall(*caller_, g->id(), msg);
+  EXPECT_EQ(reply.status, Status::kOk);
+  ASSERT_EQ(reply.rets.size(), 1u);
+  EXPECT_EQ(reply.rets[0], 42);
+  EXPECT_EQ(g->call_count(), 1);
+}
+
+TEST_F(GateTest, CallerThreadEntersServerDomainAndReturns) {
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "g", server_as_->id());
+  ObjectId seen_domain = kInvalidObjectId;
+  g->set_handler([&](Thread& t, const GateMessage&) {
+    seen_domain = t.current_domain();
+    return GateReply{};
+  });
+  EXPECT_EQ(caller_->current_domain(), caller_as_->id());
+  (void)k_.GateCall(*caller_, g->id(), GateMessage{});
+  // During the call the thread executed in the server's address space...
+  EXPECT_EQ(seen_domain, server_as_->id());
+  // ...and is back home afterwards.
+  EXPECT_EQ(caller_->current_domain(), caller_as_->id());
+}
+
+TEST_F(GateTest, BillingPrincipalUnchangedDuringCall) {
+  // The heart of Cinder's accounting story: the active reserve (billing
+  // target) does not change when crossing a gate.
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "g", server_as_->id());
+  caller_->set_active_reserve(777);
+  ObjectId seen_reserve = kInvalidObjectId;
+  g->set_handler([&](Thread& t, const GateMessage&) {
+    seen_reserve = t.active_reserve();
+    return GateReply{};
+  });
+  (void)k_.GateCall(*caller_, g->id(), GateMessage{});
+  EXPECT_EQ(seen_reserve, 777u);
+}
+
+TEST_F(GateTest, GateGrantsPrivilegesForCallDuration) {
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "g", server_as_->id());
+  Category cat = k_.categories().Allocate();
+  g->GrantPrivilege(cat);
+  bool had_priv_inside = false;
+  g->set_handler([&](Thread& t, const GateMessage&) {
+    had_priv_inside = t.privileges().Contains(cat);
+    return GateReply{};
+  });
+  EXPECT_FALSE(caller_->privileges().Contains(cat));
+  (void)k_.GateCall(*caller_, g->id(), GateMessage{});
+  EXPECT_TRUE(had_priv_inside);
+  EXPECT_FALSE(caller_->privileges().Contains(cat));  // Revoked on return.
+}
+
+TEST_F(GateTest, LabelGuardsEntry) {
+  Label secret(Level::k1);
+  Category cat = k_.categories().Allocate();
+  secret.Set(cat, Level::k3);
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), secret, "g", server_as_->id());
+  g->set_handler([](Thread&, const GateMessage&) { return GateReply{}; });
+  EXPECT_EQ(k_.GateCall(*caller_, g->id(), GateMessage{}).status, Status::kErrPermission);
+  caller_->GrantPrivilege(cat);
+  EXPECT_EQ(k_.GateCall(*caller_, g->id(), GateMessage{}).status, Status::kOk);
+}
+
+TEST_F(GateTest, MissingGateAndHandler) {
+  EXPECT_EQ(k_.GateCall(*caller_, 4242, GateMessage{}).status, Status::kErrNotFound);
+  Gate* g = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "g", server_as_->id());
+  EXPECT_EQ(k_.GateCall(*caller_, g->id(), GateMessage{}).status, Status::kErrBadState);
+}
+
+TEST_F(GateTest, NestedGateCallsRestoreInOrder) {
+  Gate* inner = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "in", caller_as_->id());
+  inner->set_handler([&](Thread& t, const GateMessage&) {
+    EXPECT_EQ(t.current_domain(), caller_as_->id());
+    return GateReply{};
+  });
+  Gate* outer = k_.Create<Gate>(k_.root_container_id(), Label(Level::k1), "out", server_as_->id());
+  outer->set_handler([&](Thread& t, const GateMessage&) {
+    EXPECT_EQ(t.current_domain(), server_as_->id());
+    GateReply r = k_.GateCall(t, inner->id(), GateMessage{});
+    EXPECT_EQ(t.current_domain(), server_as_->id());  // Restored after inner.
+    return r;
+  });
+  EXPECT_EQ(k_.GateCall(*caller_, outer->id(), GateMessage{}).status, Status::kOk);
+  EXPECT_EQ(caller_->current_domain(), caller_as_->id());
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,154 @@
+#include "src/histar/label.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+TEST(CategorySetTest, BasicOps) {
+  CategorySet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(1);
+  s.Add(2);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 2u);
+  s.Remove(1);
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(CategorySetTest, UnionAndSubset) {
+  CategorySet a;
+  a.Add(1);
+  CategorySet b;
+  b.Add(2);
+  CategorySet u = a.Union(b);
+  EXPECT_TRUE(u.Contains(1));
+  EXPECT_TRUE(u.Contains(2));
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_TRUE(b.IsSubsetOf(u));
+  EXPECT_FALSE(u.IsSubsetOf(a));
+  CategorySet empty;
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(LabelTest, DefaultLevel) {
+  Label l(Level::k1);
+  EXPECT_EQ(l.Get(42), Level::k1);
+  l.Set(42, Level::k3);
+  EXPECT_EQ(l.Get(42), Level::k3);
+  EXPECT_EQ(l.Get(43), Level::k1);
+}
+
+TEST(LabelTest, SettingDefaultErasesException) {
+  Label l(Level::k1);
+  l.Set(7, Level::k0);
+  EXPECT_EQ(l.exceptions().size(), 1u);
+  l.Set(7, Level::k1);
+  EXPECT_TRUE(l.exceptions().empty());
+}
+
+TEST(LabelTest, EqualLabelsFlowBothWays) {
+  Label a(Level::k1);
+  Label b(Level::k1);
+  CategorySet none;
+  EXPECT_TRUE(Label::FlowsTo(a, b, none));
+  EXPECT_TRUE(Label::FlowsTo(b, a, none));
+}
+
+TEST(LabelTest, HigherDefaultCannotFlowDown) {
+  Label secret(Level::k2);
+  Label pub(Level::k1);
+  CategorySet none;
+  EXPECT_FALSE(Label::FlowsTo(secret, pub, none));
+  EXPECT_TRUE(Label::FlowsTo(pub, secret, none));
+}
+
+TEST(LabelTest, CategoryExceptionBlocksFlow) {
+  Label tainted(Level::k1);
+  tainted.Set(5, Level::k3);  // Secret in category 5.
+  Label clean(Level::k1);
+  CategorySet none;
+  EXPECT_FALSE(Label::FlowsTo(tainted, clean, none));
+  EXPECT_TRUE(Label::FlowsTo(clean, tainted, none));
+}
+
+TEST(LabelTest, OwnershipBypassesCategory) {
+  Label tainted(Level::k1);
+  tainted.Set(5, Level::k3);
+  Label clean(Level::k1);
+  CategorySet owns5;
+  owns5.Add(5);
+  EXPECT_TRUE(Label::FlowsTo(tainted, clean, owns5));
+}
+
+TEST(LabelTest, OwnershipOnlyBypassesOwnedCategories) {
+  Label tainted(Level::k1);
+  tainted.Set(5, Level::k3);
+  tainted.Set(6, Level::k3);
+  Label clean(Level::k1);
+  CategorySet owns5;
+  owns5.Add(5);
+  EXPECT_FALSE(Label::FlowsTo(tainted, clean, owns5));
+}
+
+TEST(LabelTest, IntegrityLevelZeroBlocksWriters) {
+  // The task-manager pattern: taps carry {cat=0}; an unprivileged thread at
+  // default level 1 cannot "write down" into level 0.
+  Label tap_label(Level::k1);
+  tap_label.Set(9, Level::k0);
+  Label thread_label(Level::k1);
+  CategorySet none;
+  // modify check: thread.label flows to obj.label.
+  EXPECT_FALSE(Label::FlowsTo(thread_label, tap_label, none));
+  // But an owner may.
+  CategorySet owns9;
+  owns9.Add(9);
+  EXPECT_TRUE(Label::FlowsTo(thread_label, tap_label, owns9));
+  // And anyone may observe (obj 0 <= thread 1).
+  EXPECT_TRUE(Label::FlowsTo(tap_label, thread_label, none));
+}
+
+TEST(LabelTest, ToStringMentionsCategories) {
+  Label l(Level::k1);
+  l.Set(3, Level::k2);
+  EXPECT_EQ(l.ToString(), "{c3=2,1}");
+}
+
+// Lattice laws checked over a grid of label pairs.
+struct LabelCase {
+  Level def_a;
+  Level def_b;
+  Level cat_a;
+  Level cat_b;
+};
+
+class LabelLatticeTest : public ::testing::TestWithParam<LabelCase> {};
+
+TEST_P(LabelLatticeTest, ReflexiveAndAntisymmetricish) {
+  const LabelCase& c = GetParam();
+  Label a(c.def_a);
+  a.Set(1, c.cat_a);
+  Label b(c.def_b);
+  b.Set(1, c.cat_b);
+  CategorySet none;
+  // Reflexivity.
+  EXPECT_TRUE(Label::FlowsTo(a, a, none));
+  EXPECT_TRUE(Label::FlowsTo(b, b, none));
+  // FlowsTo agrees with pointwise <=.
+  const bool expected = static_cast<int>(c.def_a) <= static_cast<int>(c.def_b) &&
+                        static_cast<int>(c.cat_a) <= static_cast<int>(c.cat_b);
+  EXPECT_EQ(Label::FlowsTo(a, b, none), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LabelLatticeTest,
+    ::testing::Values(LabelCase{Level::k1, Level::k1, Level::k0, Level::k3},
+                      LabelCase{Level::k1, Level::k1, Level::k3, Level::k0},
+                      LabelCase{Level::k0, Level::k2, Level::k1, Level::k1},
+                      LabelCase{Level::k2, Level::k0, Level::k2, Level::k2},
+                      LabelCase{Level::k1, Level::k1, Level::k1, Level::k1},
+                      LabelCase{Level::k3, Level::k3, Level::k0, Level::k0}));
+
+}  // namespace
+}  // namespace cinder

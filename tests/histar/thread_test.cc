@@ -1,0 +1,103 @@
+#include "src/histar/thread.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+Thread MakeThread() { return Thread(7, Label(Level::k1), "t"); }
+
+TEST(ThreadTest, InitialState) {
+  Thread t = MakeThread();
+  EXPECT_EQ(t.state(), ThreadState::kRunnable);
+  EXPECT_EQ(t.active_reserve(), kInvalidObjectId);
+  EXPECT_TRUE(t.attached_reserves().empty());
+  EXPECT_EQ(t.cpu_energy_billed(), Energy::Zero());
+}
+
+TEST(ThreadTest, StateTransitions) {
+  Thread t = MakeThread();
+  t.SleepUntil(SimTime::FromMicros(100));
+  EXPECT_EQ(t.state(), ThreadState::kSleeping);
+  EXPECT_EQ(t.wake_time().us(), 100);
+  t.Wake();
+  EXPECT_EQ(t.state(), ThreadState::kRunnable);
+  t.Block();
+  EXPECT_EQ(t.state(), ThreadState::kBlocked);
+  t.Wake();
+  EXPECT_EQ(t.state(), ThreadState::kRunnable);
+}
+
+TEST(ThreadTest, HaltIsTerminal) {
+  Thread t = MakeThread();
+  t.Halt();
+  t.Wake();
+  EXPECT_EQ(t.state(), ThreadState::kHalted);
+}
+
+TEST(ThreadTest, AttachDetachReserves) {
+  Thread t = MakeThread();
+  t.AttachReserve(100);
+  t.AttachReserve(101);
+  t.AttachReserve(100);  // Idempotent.
+  EXPECT_EQ(t.attached_reserves().size(), 2u);
+  EXPECT_TRUE(t.IsAttached(100));
+  t.DetachReserve(100);
+  EXPECT_FALSE(t.IsAttached(100));
+  EXPECT_EQ(t.attached_reserves().size(), 1u);
+}
+
+TEST(ThreadTest, SetActiveReserveAttaches) {
+  Thread t = MakeThread();
+  t.set_active_reserve(200);
+  EXPECT_EQ(t.active_reserve(), 200u);
+  EXPECT_TRUE(t.IsAttached(200));
+}
+
+TEST(ThreadTest, DetachingActiveReserveFallsBack) {
+  Thread t = MakeThread();
+  t.set_active_reserve(200);
+  t.AttachReserve(201);
+  t.DetachReserve(200);
+  EXPECT_EQ(t.active_reserve(), 201u);  // Falls back to a remaining reserve.
+  t.DetachReserve(201);
+  EXPECT_EQ(t.active_reserve(), kInvalidObjectId);
+}
+
+TEST(ThreadTest, DomainDefaultsToHome) {
+  Thread t = MakeThread();
+  t.set_home_address_space(50);
+  EXPECT_EQ(t.current_domain(), 50u);
+  t.set_current_domain(60);
+  EXPECT_EQ(t.current_domain(), 60u);
+  EXPECT_EQ(t.home_address_space(), 50u);
+}
+
+TEST(ThreadTest, PrivilegeManagement) {
+  Thread t = MakeThread();
+  t.GrantPrivilege(9);
+  EXPECT_TRUE(t.privileges().Contains(9));
+  t.mutable_privileges()->Remove(9);
+  EXPECT_FALSE(t.privileges().Contains(9));
+}
+
+TEST(ThreadTest, AccountingCounters) {
+  Thread t = MakeThread();
+  t.AddCpuEnergy(Energy::Microjoules(137));
+  t.AddCpuEnergy(Energy::Microjoules(137));
+  EXPECT_EQ(t.cpu_energy_billed(), Energy::Microjoules(274));
+  t.IncrementQuantaRun();
+  t.IncrementQuantaDenied();
+  EXPECT_EQ(t.quanta_run(), 1);
+  EXPECT_EQ(t.quanta_denied(), 1);
+}
+
+TEST(ThreadTest, StateNames) {
+  EXPECT_EQ(ThreadStateName(ThreadState::kRunnable), "runnable");
+  EXPECT_EQ(ThreadStateName(ThreadState::kSleeping), "sleeping");
+  EXPECT_EQ(ThreadStateName(ThreadState::kBlocked), "blocked");
+  EXPECT_EQ(ThreadStateName(ThreadState::kHalted), "halted");
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,54 @@
+// Integration test for the Figure 12 experiment: task-manager foreground /
+// background control, and hoarding when the foreground tap exceeds the CPU.
+#include <gtest/gtest.h>
+
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+namespace {
+
+class BackgroundTest : public ::testing::Test {
+ protected:
+  // 12a: foreground tap matches the CPU's 137 mW exactly.
+  static const BackgroundResult& Exact() {
+    static const BackgroundResult r = RunBackgroundScenario(Power::Milliwatts(137));
+    return r;
+  }
+  // 12b: 300 mW foreground tap allows hoarding.
+  static const BackgroundResult& Hoarding() {
+    static const BackgroundResult r = RunBackgroundScenario(Power::Milliwatts(300));
+    return r;
+  }
+};
+
+TEST_F(BackgroundTest, BackgroundPairSharesFourteenMilliwatts) {
+  EXPECT_NEAR(Exact().background_pair_mw, 14.0, 4.0);
+}
+
+TEST_F(BackgroundTest, ForegroundAppRunsNearFullCpu) {
+  EXPECT_GT(Exact().a_foreground_mw, 115.0);
+  EXPECT_LT(Exact().a_foreground_mw, 145.0);
+}
+
+TEST_F(BackgroundTest, ExactRateLeavesNothingToHoard) {
+  // 12a: after demotion A promptly returns toward its background share, in
+  // sharp contrast to the 300 mW hoarding configuration.
+  EXPECT_LT(Exact().a_after_demotion_mw, 40.0);
+  EXPECT_LT(Exact().a_after_demotion_mw, Hoarding().a_after_demotion_mw / 2.0);
+}
+
+TEST_F(BackgroundTest, OverprovisionedForegroundHoards) {
+  // 12b: A accumulated surplus at 300 mW and keeps burning CPU above its
+  // background share after demotion.
+  EXPECT_GT(Hoarding().a_after_demotion_mw, 80.0);
+}
+
+TEST_F(BackgroundTest, HoardingBoostsBAfterItsTurnToo) {
+  // B banked energy in [30 s, 40 s); it runs hot after 40 s (the paper's
+  // "~90% of the CPU" tail).
+  EXPECT_GT(Hoarding().b_after_demotion_mw, 70.0);
+  EXPECT_LT(Exact().b_after_demotion_mw, 40.0);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,89 @@
+// Integration test for the Figures 13/14 + Table 1 experiment: cooperative
+// radio access through netd's pooled reserve.
+#include <gtest/gtest.h>
+
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+namespace {
+
+class CooperationTest : public ::testing::Test {
+ protected:
+  static const CooperationResult& Uncoop() {
+    static const CooperationResult r = [] {
+      CooperationConfig cfg;
+      cfg.mode = NetdMode::kUnrestricted;
+      cfg.mail_start = Duration::Seconds(30);
+      return RunCooperationScenario(cfg);
+    }();
+    return r;
+  }
+  static const CooperationResult& Coop() {
+    static const CooperationResult r = [] {
+      CooperationConfig cfg;
+      cfg.mode = NetdMode::kCooperative;
+      return RunCooperationScenario(cfg);
+    }();
+    return r;
+  }
+};
+
+TEST_F(CooperationTest, CooperationReducesActiveTime) {
+  // Table 1: 949 s -> 510 s (46% less). Require a >= 30% cut.
+  EXPECT_LT(Coop().active_time_s, Uncoop().active_time_s * 0.7);
+}
+
+TEST_F(CooperationTest, CooperationReducesTotalEnergy) {
+  // Table 1: 1238 J -> 1083 J (12.5% less). Require >= 7%.
+  EXPECT_LT(Coop().total_energy_j, Uncoop().total_energy_j * 0.93);
+}
+
+TEST_F(CooperationTest, CooperationReducesActiveEnergy) {
+  // Table 1: 1064 J -> 594 J (44% less). Require >= 30%.
+  EXPECT_LT(Coop().active_energy_j, Uncoop().active_energy_j * 0.7);
+}
+
+TEST_F(CooperationTest, UncoopShapeMatchesPaper) {
+  // Roughly 1.2 kJ over 20 minutes, most of it with the radio awake.
+  EXPECT_NEAR(Uncoop().total_energy_j, 1238.0, 150.0);
+  EXPECT_GT(Uncoop().active_time_s, 600.0);
+}
+
+TEST_F(CooperationTest, CoopShapeMatchesPaper) {
+  EXPECT_NEAR(Coop().total_energy_j, 1083.0, 130.0);
+  EXPECT_NEAR(Coop().active_time_s, 510.0, 160.0);
+}
+
+TEST_F(CooperationTest, PollersKeepTheirPollRateUnderCooperation) {
+  // The saving comes from synchronizing, not from doing less work: both
+  // pollers complete roughly one poll per interval in both modes.
+  EXPECT_GE(Coop().rss_polls, 15);
+  EXPECT_GE(Coop().mail_polls, 15);
+  EXPECT_GE(Uncoop().rss_polls, 17);
+}
+
+TEST_F(CooperationTest, CooperationHalvesActivations) {
+  // Two staggered pollers -> ~2 activations per minute uncooperative, ~1
+  // joint activation per minute cooperative.
+  EXPECT_LT(Coop().activations, Uncoop().activations * 3 / 4);
+}
+
+TEST_F(CooperationTest, NetdReserveSawtoothsAndNeverEmpties) {
+  // Figure 14: the pool cycles up to ~11.9 J and is debited 9.5 J per
+  // activation, never reaching zero once pooling is underway.
+  const TimeSeries& pool = Coop().netd_reserve_j;
+  ASSERT_GT(pool.size(), 100u);
+  EXPECT_GT(pool.MaxValue(), 10.0);
+  // After the first activation cycle completes, the floor stays positive.
+  double min_after_settle = 1e9;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].time.seconds_f() > 200.0) {
+      min_after_settle = std::min(min_after_settle, pool[i].value);
+    }
+  }
+  EXPECT_GT(min_after_settle, 0.5);
+  EXPECT_LT(min_after_settle, 6.0);  // It IS a sawtooth, not a flat hoard.
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,99 @@
+// Integration test for the section 9 extension: reserves and taps repurposed
+// for network-byte and SMS quotas ("replacing the logical battery with a pool
+// of network bytes").
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+#include "src/sim/simulator.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+class DataQuotaTest : public ::testing::Test {
+ protected:
+  DataQuotaTest() : sim_(QuietConfig()) {
+    Kernel& k = sim_.kernel();
+    // The "data plan": a 5 MB byte pool standing in for the battery root.
+    plan_ = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "data_plan",
+                              ResourceKind::kNetBytes);
+    plan_->Deposit(5 * 1024 * 1024);
+    plan_->set_decay_exempt(true);
+  }
+
+  Simulator sim_;
+  Reserve* plan_ = nullptr;
+};
+
+TEST_F(DataQuotaTest, AppQuotaSubdividedFromPlan) {
+  Kernel& k = sim_.kernel();
+  Thread* boot = sim_.boot_thread();
+  Result<ObjectId> app_quota =
+      ReserveSplit(k, *boot, plan_->id(), 1024 * 1024, k.root_container_id(), Label(Level::k1),
+                   "app_quota");
+  ASSERT_TRUE(app_quota.ok());
+  EXPECT_EQ(plan_->level(), 4 * 1024 * 1024);
+  // The app can spend bytes until its quota is gone, and not a byte more.
+  Reserve* quota = k.LookupTyped<Reserve>(app_quota.value());
+  EXPECT_EQ(quota->Consume(1000 * 1024), Status::kOk);
+  EXPECT_EQ(quota->Consume(100 * 1024), Status::kErrNoResource);
+  // The plan itself is untouched by the app's spending.
+  EXPECT_EQ(plan_->level(), 4 * 1024 * 1024);
+}
+
+TEST_F(DataQuotaTest, ByteTapMetersDailyAllowance) {
+  Kernel& k = sim_.kernel();
+  Thread* boot = sim_.boot_thread();
+  Reserve* app = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "app_bytes",
+                                   ResourceKind::kNetBytes);
+  ObjectId tap = TapCreate(k, sim_.taps(), *boot, k.root_container_id(), plan_->id(), app->id(),
+                           Label(Level::k1), "allowance")
+                     .value();
+  // 10 KiB/s allowance via the generic quantity-rate API.
+  (void)TapSetConstantRate(k, *boot, tap, 10 * 1024);
+  sim_.Run(Duration::Seconds(30));
+  EXPECT_NEAR(static_cast<double>(app->level()), 30.0 * 10 * 1024, 1024.0);
+}
+
+TEST_F(DataQuotaTest, EnergyAndByteReservesCannotMix) {
+  Kernel& k = sim_.kernel();
+  Thread* boot = sim_.boot_thread();
+  EXPECT_EQ(ReserveTransfer(k, *boot, sim_.battery_reserve_id(), plan_->id(), 100),
+            Status::kErrWrongType);
+  Result<ObjectId> tap = TapCreate(k, sim_.taps(), *boot, k.root_container_id(),
+                                   sim_.battery_reserve_id(), plan_->id(), Label(Level::k1), "x");
+  EXPECT_FALSE(tap.ok());
+}
+
+TEST_F(DataQuotaTest, SmsQuotaCountsMessages) {
+  Kernel& k = sim_.kernel();
+  Reserve* sms = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "sms_quota",
+                                   ResourceKind::kSms);
+  sms->Deposit(3);
+  EXPECT_EQ(sms->Consume(1), Status::kOk);
+  EXPECT_EQ(sms->Consume(1), Status::kOk);
+  EXPECT_EQ(sms->Consume(1), Status::kOk);
+  EXPECT_EQ(sms->Consume(1), Status::kErrNoResource);
+  EXPECT_EQ(sms->total_consumed(), 3);
+}
+
+TEST_F(DataQuotaTest, ByteReservesExemptFromEnergyDecay) {
+  // Decay applies to energy only; byte quotas must not evaporate.
+  SimConfig cfg;
+  cfg.decay_enabled = true;
+  Simulator sim(cfg);
+  Kernel& k = sim.kernel();
+  Reserve* bytes = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "bytes",
+                                     ResourceKind::kNetBytes);
+  bytes->Deposit(1000000);
+  sim.Run(Duration::Minutes(10));
+  EXPECT_EQ(bytes->level(), 1000000);
+}
+
+}  // namespace
+}  // namespace cinder

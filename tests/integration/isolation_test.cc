@@ -1,0 +1,65 @@
+// Integration test for the Figure 9 experiment: isolation, subdivision and
+// delegation protect A from B's forks, and B from its own children.
+#include <gtest/gtest.h>
+
+#include "src/apps/scenarios.h"
+
+namespace cinder {
+namespace {
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  static const IsolationResult& Result() {
+    static const IsolationResult r = RunIsolationScenario();
+    return r;
+  }
+};
+
+TEST_F(IsolationTest, AKeepsItsHalfDespiteForks) {
+  // A stays near its 68 mW subdivision throughout.
+  EXPECT_NEAR(Result().steady_a_mw, 68.5, 7.0);
+}
+
+TEST_F(IsolationTest, BProtectedFromItsOwnChildren) {
+  // B gave each child a quarter of its power: B ends near half its original
+  // share, each child near a quarter.
+  EXPECT_NEAR(Result().steady_b_mw, 34.0, 8.0);
+  EXPECT_NEAR(Result().steady_b1_mw, 17.0, 6.0);
+  EXPECT_NEAR(Result().steady_b2_mw, 17.0, 6.0);
+}
+
+TEST_F(IsolationTest, FamilyBStillBoundedByItsSubdivision) {
+  const double family_b =
+      Result().steady_b_mw + Result().steady_b1_mw + Result().steady_b2_mw;
+  EXPECT_NEAR(family_b, 68.5, 8.0);
+}
+
+TEST_F(IsolationTest, EstimatesSumToMeasuredCpuPower) {
+  // "The sum of the estimated power of the individual processes closely
+  // matches the measured true power consumption of the CPU of about 139 mW."
+  const IsolationResult& r = Result();
+  const double estimate_sum =
+      r.steady_a_mw + r.steady_b_mw + r.steady_b1_mw + r.steady_b2_mw;
+  EXPECT_NEAR(estimate_sum, r.measured_cpu_mw, 10.0);
+  EXPECT_NEAR(r.measured_cpu_mw, 137.0, 10.0);
+}
+
+TEST_F(IsolationTest, BeforeForksBothRunAtHalf) {
+  // In the first five seconds A and B split the CPU evenly.
+  double a_early = 0.0;
+  double b_early = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < Result().power_a.size(); ++i) {
+    if (Result().power_a[i].time.seconds_f() < 5.0) {
+      a_early += Result().power_a[i].value;
+      b_early += Result().power_b[i].value;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 2);
+  EXPECT_NEAR(a_early / n, 68.5, 10.0);
+  EXPECT_NEAR(b_early / n, 68.5, 10.0);
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,125 @@
+#include "src/net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/syscalls.h"
+#include "src/net/netd.h"
+
+namespace cinder {
+namespace {
+
+SimConfig QuietConfig() {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  return cfg;
+}
+
+TEST(SocketTableTest, OpenConnectClose) {
+  SocketTable table;
+  Result<SocketId> s = table.Open(10, SimTime::Zero());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(table.open_count(), 1u);
+  EXPECT_EQ(table.Connect(s.value(), 10, 0x0a000001, 80), Status::kOk);
+  EXPECT_EQ(table.Connect(s.value(), 10, 0x0a000001, 80), Status::kErrBadState);
+  EXPECT_EQ(table.Close(s.value(), 10), Status::kOk);
+  EXPECT_EQ(table.open_count(), 0u);
+  EXPECT_EQ(table.Close(s.value(), 10), Status::kErrNotFound);
+}
+
+TEST(SocketTableTest, OwnershipEnforced) {
+  SocketTable table;
+  SocketId s = table.Open(10, SimTime::Zero()).value();
+  EXPECT_EQ(table.Lookup(s, 11).status(), Status::kErrPermission);
+  EXPECT_EQ(table.Connect(s, 11, 1, 1), Status::kErrPermission);
+  EXPECT_EQ(table.Close(s, 11), Status::kErrPermission);
+  EXPECT_TRUE(table.Lookup(s, 10).ok());
+}
+
+TEST(SocketTableTest, PerOwnerLimit) {
+  SocketTable table;
+  table.set_per_owner_limit(2);
+  EXPECT_TRUE(table.Open(10, SimTime::Zero()).ok());
+  EXPECT_TRUE(table.Open(10, SimTime::Zero()).ok());
+  EXPECT_EQ(table.Open(10, SimTime::Zero()).status(), Status::kErrExhausted);
+  EXPECT_TRUE(table.Open(11, SimTime::Zero()).ok());  // Other owner unaffected.
+}
+
+TEST(SocketTableTest, CloseAllForOwner) {
+  SocketTable table;
+  (void)table.Open(10, SimTime::Zero());
+  (void)table.Open(10, SimTime::Zero());
+  (void)table.Open(11, SimTime::Zero());
+  EXPECT_EQ(table.CloseAllFor(10), 2);
+  EXPECT_EQ(table.open_count(), 1u);
+}
+
+class NetdSocketTest : public ::testing::Test {
+ protected:
+  NetdSocketTest() : sim_(QuietConfig()), netd_(&sim_, NetdMode::kCooperative) {
+    Kernel& k = sim_.kernel();
+    Thread* boot = sim_.boot_thread();
+    proc_ = sim_.CreateProcess("app");
+    reserve_ = ReserveCreate(k, *boot, proc_.container, Label(Level::k1), "r").value();
+    (void)ReserveTransfer(k, *boot, sim_.battery_reserve_id(), reserve_,
+                          ToQuantity(Energy::Joules(100.0)));
+    k.LookupTyped<Thread>(proc_.thread)->set_active_reserve(reserve_);
+  }
+
+  Thread* thread() { return sim_.kernel().LookupTyped<Thread>(proc_.thread); }
+
+  Simulator sim_;
+  NetdService netd_;
+  Simulator::Process proc_;
+  ObjectId reserve_ = kInvalidObjectId;
+};
+
+TEST_F(NetdSocketTest, SocketLifecycleOverGate) {
+  Result<SocketId> sock = netd_.SocketOpen(*thread());
+  ASSERT_TRUE(sock.ok());
+  EXPECT_EQ(netd_.SocketConnect(*thread(), sock.value(), 0x08080808, 53), Status::kOk);
+  EXPECT_EQ(netd_.SocketSend(*thread(), sock.value(), 512), Status::kOk);
+  EXPECT_EQ(netd_.SocketRecv(*thread(), sock.value(), 1024), Status::kOk);
+  Result<SocketState*> state = netd_.sockets().Lookup(sock.value(), proc_.thread);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value()->bytes_sent, 512);
+  EXPECT_EQ(state.value()->bytes_received, 1024);
+  EXPECT_EQ(state.value()->packets_sent, 1);
+  EXPECT_EQ(netd_.SocketClose(*thread(), sock.value()), Status::kOk);
+}
+
+TEST_F(NetdSocketTest, SendOnUnconnectedSocketFails) {
+  SocketId sock = netd_.SocketOpen(*thread()).value();
+  EXPECT_EQ(netd_.SocketSend(*thread(), sock, 100), Status::kErrBadState);
+}
+
+TEST_F(NetdSocketTest, SocketSendPaysRadioEnergy) {
+  SocketId sock = netd_.SocketOpen(*thread()).value();
+  (void)netd_.SocketConnect(*thread(), sock, 1, 80);
+  Reserve* r = sim_.kernel().LookupTyped<Reserve>(reserve_);
+  const Energy before = r->energy();
+  ASSERT_EQ(netd_.SocketSend(*thread(), sock, 1000), Status::kOk);
+  // Radio was cold: the socket send paid a full activation like a raw send.
+  EXPECT_GT((before - r->energy()).joules_f(), 9.0);
+  EXPECT_TRUE(sim_.radio().IsAwake());
+}
+
+TEST_F(NetdSocketTest, ForeignSocketRejected) {
+  SocketId sock = netd_.SocketOpen(*thread()).value();
+  auto other = sim_.CreateProcess("other");
+  Thread* ot = sim_.kernel().LookupTyped<Thread>(other.thread);
+  EXPECT_EQ(netd_.SocketSend(*ot, sock, 100), Status::kErrPermission);
+  EXPECT_EQ(netd_.SocketClose(*ot, sock), Status::kErrPermission);
+}
+
+TEST_F(NetdSocketTest, RecvBillsIntoDebtThroughSocketToo) {
+  SocketId sock = netd_.SocketOpen(*thread()).value();
+  (void)netd_.SocketConnect(*thread(), sock, 1, 80);
+  Reserve* r = sim_.kernel().LookupTyped<Reserve>(reserve_);
+  (void)r->Withdraw(r->level());
+  r->Deposit(1000);  // Nearly empty.
+  EXPECT_EQ(netd_.SocketRecv(*thread(), sock, 100000), Status::kOk);
+  EXPECT_LT(r->level(), 0);  // After-the-fact debt.
+}
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,123 @@
+// Property test: resource quantities are exactly conserved by tap flows and
+// decay, for randomized reserve/tap graphs. Transfers are integer with
+// carry, so the invariant holds to the nanojoule regardless of topology,
+// rates, or batch cadence.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/syscalls.h"
+#include "src/core/tap_engine.h"
+
+namespace cinder {
+namespace {
+
+class ConservationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConservationProperty, RandomGraphConservesExactly) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(ToQuantity(Energy::Joules(15000.0)));
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = (seed % 2) == 0;  // Half the cases include decay.
+  engine.decay().half_life = Duration::Seconds(60 + static_cast<int64_t>(rng.UniformU64(600)));
+
+  // Random reserves, some pre-seeded.
+  std::vector<Reserve*> reserves{battery};
+  const int n_reserves = 3 + static_cast<int>(rng.UniformU64(8));
+  for (int i = 0; i < n_reserves; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1),
+                                   "r" + std::to_string(i));
+    if (rng.Bernoulli(0.5)) {
+      r->Deposit(static_cast<Quantity>(rng.UniformU64(1000000000)));
+    }
+    if (rng.Bernoulli(0.2)) {
+      r->set_decay_exempt(true);
+    }
+    reserves.push_back(r);
+  }
+
+  // Random taps, mixing constant and proportional, any direction, possibly
+  // cyclic.
+  const int n_taps = 2 + static_cast<int>(rng.UniformU64(12));
+  for (int i = 0; i < n_taps; ++i) {
+    size_t a = rng.UniformU64(reserves.size());
+    size_t b = rng.UniformU64(reserves.size());
+    if (a == b) {
+      continue;
+    }
+    Tap* t = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t" + std::to_string(i),
+                           reserves[a]->id(), reserves[b]->id());
+    if (rng.Bernoulli(0.5)) {
+      t->SetConstantRate(static_cast<QuantityRate>(rng.UniformU64(300000000)));
+    } else {
+      t->SetProportionalRate(rng.UniformRange(0.0, 0.8));
+    }
+    ASSERT_TRUE(engine.Register(t->id()));
+  }
+
+  auto total = [&] {
+    Quantity sum = 0;
+    for (ObjectId id : k.ObjectsOfType(ObjectType::kReserve)) {
+      sum += k.LookupTyped<Reserve>(id)->level();
+    }
+    return sum;
+  };
+
+  const Quantity before = total();
+  // Irregular batch lengths stress the carry logic.
+  for (int i = 0; i < 2000; ++i) {
+    engine.RunBatch(Duration::Micros(1000 + static_cast<int64_t>(rng.UniformU64(30000))));
+  }
+  EXPECT_EQ(total(), before) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+class TransferConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransferConservation, RandomSyscallSequencesConserve) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->Deposit(ToQuantity(Energy::Joules(100.0)));
+  TapEngine engine(&k, battery->id());
+  Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+
+  std::vector<ObjectId> ids{battery->id()};
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(
+        ReserveCreate(k, *t, k.root_container_id(), Label(Level::k1), "r").value());
+  }
+  auto total = [&] {
+    Quantity sum = 0;
+    for (ObjectId id : k.ObjectsOfType(ObjectType::kReserve)) {
+      sum += k.LookupTyped<Reserve>(id)->level();
+    }
+    return sum;
+  };
+  const Quantity before = total();
+  for (int i = 0; i < 500; ++i) {
+    ObjectId from = ids[rng.UniformU64(ids.size())];
+    ObjectId to = ids[rng.UniformU64(ids.size())];
+    Quantity amount = static_cast<Quantity>(rng.UniformU64(1000000));
+    (void)ReserveTransfer(k, *t, from, to, amount);  // May fail; that is fine.
+    if (rng.Bernoulli(0.2)) {
+      Result<ObjectId> split = ReserveSplit(k, *t, from, amount / 2, k.root_container_id(),
+                                            Label(Level::k1), "s");
+      if (split.ok()) {
+        ids.push_back(split.value());
+      }
+    }
+  }
+  EXPECT_EQ(total(), before) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransferConservation, ::testing::Values(7, 11, 19, 23, 31));
+
+}  // namespace
+}  // namespace cinder

@@ -1,0 +1,110 @@
+// Property tests over randomized labels: FlowsTo must behave as a preorder
+// (reflexive, transitive) and respond monotonically to privileges.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/histar/label.h"
+
+namespace cinder {
+namespace {
+
+Label RandomLabel(Rng& rng) {
+  Label l(static_cast<Level>(rng.UniformU64(4)));
+  const int n = static_cast<int>(rng.UniformU64(5));
+  for (int i = 0; i < n; ++i) {
+    l.Set(rng.UniformU64(6) + 1, static_cast<Level>(rng.UniformU64(4)));
+  }
+  return l;
+}
+
+CategorySet RandomPrivs(Rng& rng) {
+  CategorySet s;
+  const int n = static_cast<int>(rng.UniformU64(4));
+  for (int i = 0; i < n; ++i) {
+    s.Add(rng.UniformU64(6) + 1);
+  }
+  return s;
+}
+
+class LabelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelProperty, Reflexive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Label l = RandomLabel(rng);
+    CategorySet p = RandomPrivs(rng);
+    EXPECT_TRUE(Label::FlowsTo(l, l, p)) << l.ToString();
+  }
+}
+
+TEST_P(LabelProperty, Transitive) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 500; ++i) {
+    Label a = RandomLabel(rng);
+    Label b = RandomLabel(rng);
+    Label c = RandomLabel(rng);
+    CategorySet p = RandomPrivs(rng);
+    if (Label::FlowsTo(a, b, p) && Label::FlowsTo(b, c, p)) {
+      EXPECT_TRUE(Label::FlowsTo(a, c, p))
+          << a.ToString() << " -> " << b.ToString() << " -> " << c.ToString();
+    }
+  }
+}
+
+TEST_P(LabelProperty, PrivilegesAreMonotone) {
+  // Adding privileges can only enable more flows, never fewer.
+  Rng rng(GetParam() * 17 + 3);
+  for (int i = 0; i < 500; ++i) {
+    Label a = RandomLabel(rng);
+    Label b = RandomLabel(rng);
+    CategorySet p = RandomPrivs(rng);
+    CategorySet more = p;
+    more.Add(rng.UniformU64(6) + 1);
+    if (Label::FlowsTo(a, b, p)) {
+      EXPECT_TRUE(Label::FlowsTo(a, b, more));
+    }
+  }
+}
+
+TEST_P(LabelProperty, OwningEveryCategoryStillRespectsDefaults) {
+  // Privileges are per-category; they never bypass the default-level
+  // comparison (which covers infinitely many categories).
+  Rng rng(GetParam() * 13 + 1);
+  CategorySet all;
+  for (Category c = 1; c <= 6; ++c) {
+    all.Add(c);
+  }
+  for (int i = 0; i < 200; ++i) {
+    Label a = RandomLabel(rng);
+    Label b = RandomLabel(rng);
+    if (static_cast<int>(a.default_level()) > static_cast<int>(b.default_level())) {
+      EXPECT_FALSE(Label::FlowsTo(a, b, all));
+    } else {
+      EXPECT_TRUE(Label::FlowsTo(a, b, all));
+    }
+  }
+}
+
+TEST_P(LabelProperty, ObserveModifySymmetry) {
+  // CanUse(a, obj) == FlowsTo both ways; check it degenerates to equality
+  // up to owned categories.
+  Rng rng(GetParam() * 41 + 11);
+  for (int i = 0; i < 200; ++i) {
+    Label a = RandomLabel(rng);
+    Label b = RandomLabel(rng);
+    CategorySet none;
+    if (Label::FlowsTo(a, b, none) && Label::FlowsTo(b, a, none)) {
+      // Pointwise equal on defaults and all mentioned categories.
+      EXPECT_EQ(a.default_level(), b.default_level());
+      for (const auto& [c, lvl] : a.exceptions()) {
+        (void)lvl;
+        EXPECT_EQ(a.Get(c), b.Get(c));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cinder

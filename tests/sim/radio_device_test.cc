@@ -1,0 +1,143 @@
+#include "src/sim/radio_device.h"
+
+#include <gtest/gtest.h>
+
+namespace cinder {
+namespace {
+
+class RadioDeviceTest : public ::testing::Test {
+ protected:
+  RadioDeviceTest() : rng_(1234), radio_(&model_, &rng_) {}
+
+  // Integrates the radio's extra power over time using 1 ms ticks, the same
+  // way the simulator does, returning joules above baseline.
+  double RunEpisode(SimTime start, Duration horizon) {
+    double joules = 0.0;
+    for (SimTime t = start; t < start + horizon; t += Duration::Millis(1)) {
+      radio_.Tick(t);
+      joules += radio_.ExtraPower().watts_f() * 0.001;
+      if (radio_.IsAwake()) {
+        radio_.AccumulateAwake(Duration::Millis(1));
+      }
+    }
+    return joules;
+  }
+
+  PowerModel model_;
+  Rng rng_;
+  RadioDevice radio_;
+};
+
+TEST_F(RadioDeviceTest, StartsAsleep) {
+  EXPECT_EQ(radio_.state(), RadioState::kSleep);
+  EXPECT_FALSE(radio_.IsAwake());
+  EXPECT_EQ(radio_.ExtraPower().uw(), 0);
+}
+
+TEST_F(RadioDeviceTest, PacketWakesRadio) {
+  (void)radio_.OnPacket(SimTime::Zero(), 1);
+  EXPECT_EQ(radio_.state(), RadioState::kRamp);
+  EXPECT_GT(radio_.ExtraPower().uw(), model_.radio_active.uw());
+  EXPECT_EQ(radio_.activation_count(), 1);
+}
+
+TEST_F(RadioDeviceTest, RampBecomesActiveThenSleeps) {
+  (void)radio_.OnPacket(SimTime::Zero(), 1);
+  radio_.Tick(SimTime::Zero() + model_.radio_ramp);
+  EXPECT_EQ(radio_.state(), RadioState::kActive);
+  // Must sleep 20 s (plus possible outlier) after last activity.
+  SimTime deadline = radio_.sleep_deadline();
+  EXPECT_GE((deadline - radio_.last_activity()).secs(), model_.radio_idle_timeout.secs());
+  radio_.Tick(deadline);
+  EXPECT_EQ(radio_.state(), RadioState::kSleep);
+}
+
+TEST_F(RadioDeviceTest, TrafficExtendsActivityWindow) {
+  (void)radio_.OnPacket(SimTime::Zero(), 1);
+  radio_.Tick(SimTime::Zero() + model_.radio_ramp);
+  SimTime first_deadline = radio_.sleep_deadline();
+  SimTime later = SimTime::Zero() + Duration::Seconds(10);
+  (void)radio_.OnPacket(later, 100);
+  EXPECT_GT(radio_.sleep_deadline(), first_deadline);
+  EXPECT_EQ(radio_.last_activity(), later);
+}
+
+TEST_F(RadioDeviceTest, SingleByteEpisodeCostsAboutNinePointFiveJoules) {
+  // Figure 4: one isolated packet costs 9.5 J on average (8.8-11.9 J).
+  // Collect many episodes across fresh devices and check the distribution.
+  double total = 0.0;
+  double lo = 1e9;
+  double hi = 0.0;
+  const int kEpisodes = 60;
+  for (int i = 0; i < kEpisodes; ++i) {
+    Rng rng(static_cast<uint64_t>(i) * 7919 + 3);
+    RadioDevice radio(&model_, &rng);
+    (void)radio.OnPacket(SimTime::Zero(), 1);
+    double joules = 0.0;
+    for (SimTime t = SimTime::Zero(); t < SimTime::Zero() + Duration::Seconds(40);
+         t += Duration::Millis(1)) {
+      radio.Tick(t);
+      joules += radio.ExtraPower().watts_f() * 0.001;
+    }
+    total += joules;
+    lo = std::min(lo, joules);
+    hi = std::max(hi, joules);
+  }
+  const double mean = total / kEpisodes;
+  EXPECT_NEAR(mean, 9.5, 0.8);
+  EXPECT_GE(lo, 8.0);   // Paper min 8.8.
+  EXPECT_LE(hi, 12.5);  // Paper max 11.9.
+  EXPECT_GT(hi, lo);    // There IS jitter.
+}
+
+TEST_F(RadioDeviceTest, DataEnergyScalesWithBytes) {
+  Energy one = radio_.OnPacket(SimTime::Zero(), 1);
+  Energy big = radio_.OnPacket(SimTime::Zero(), 1500);
+  EXPECT_GT(big, one);
+  EXPECT_EQ((big - one).nj(), model_.radio_energy_per_byte.nj() * 1499);
+}
+
+TEST_F(RadioDeviceTest, CountersAccumulate) {
+  (void)radio_.OnPacket(SimTime::Zero(), 100);
+  (void)radio_.OnPacket(SimTime::Zero(), 200);
+  EXPECT_EQ(radio_.total_bytes(), 300);
+  EXPECT_EQ(radio_.total_packets(), 2);
+  EXPECT_EQ(radio_.activation_count(), 1);  // Second packet found it awake.
+}
+
+TEST_F(RadioDeviceTest, AwakeTimeTracksEpisode) {
+  (void)radio_.OnPacket(SimTime::Zero(), 1);
+  (void)RunEpisode(SimTime::Zero(), Duration::Seconds(40));
+  // Episode = ramp + 20 s timeout (+ outlier); must be within [22, 27] s.
+  EXPECT_GE(radio_.total_awake_time().secs(), 21);
+  EXPECT_LE(radio_.total_awake_time().secs(), 28);
+}
+
+TEST_F(RadioDeviceTest, BackToBackCheaperThanIsolated) {
+  // Two packets 1 s apart share one episode; two packets 60 s apart cost two.
+  // Packets must be injected as the clock advances (the device only changes
+  // state in Tick).
+  auto run = [&](Duration second_packet_at) {
+    Rng rng(5);
+    RadioDevice radio(&model_, &rng);
+    for (SimTime t = SimTime::Zero(); t < SimTime::Zero() + Duration::Seconds(120);
+         t += Duration::Millis(1)) {
+      if (t == SimTime::Zero() || t == SimTime::Zero() + second_packet_at) {
+        (void)radio.OnPacket(t, 1);
+      }
+      radio.Tick(t);
+      if (radio.IsAwake()) {
+        radio.AccumulateAwake(Duration::Millis(1));
+      }
+    }
+    return std::make_pair(radio.activation_count(), radio.total_awake_time());
+  };
+  auto [acts_close, awake_close] = run(Duration::Seconds(1));
+  auto [acts_far, awake_far] = run(Duration::Seconds(60));
+  EXPECT_EQ(acts_close, 1);
+  EXPECT_EQ(acts_far, 2);
+  EXPECT_LT(awake_close.us(), awake_far.us());
+}
+
+}  // namespace
+}  // namespace cinder
