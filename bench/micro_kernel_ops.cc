@@ -69,7 +69,7 @@ void BM_TapBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n_taps);
 }
-BENCHMARK(BM_TapBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_TapBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
 
 void BM_TapBatchWithDecay(benchmark::State& state) {
   const int n_reserves = static_cast<int>(state.range(0));
@@ -89,6 +89,37 @@ void BM_TapBatchWithDecay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_reserves);
 }
 BENCHMARK(BM_TapBatchWithDecay)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelLookup(benchmark::State& state) {
+  const int n_objects = static_cast<int>(state.range(0));
+  Kernel k;
+  std::vector<ObjectId> ids;
+  ids.reserve(n_objects);
+  for (int i = 0; i < n_objects; ++i) {
+    ids.push_back(k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r")->id());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.Lookup(ids[i]));
+    i = (i + 1) % ids.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelLookup)->Arg(64)->Arg(4096)->Arg(32768);
+
+void BM_ObjectsOfType(benchmark::State& state) {
+  const int n_objects = static_cast<int>(state.range(0));
+  Kernel k;
+  for (int i = 0; i < n_objects; ++i) {
+    k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.ObjectsOfType(ObjectType::kReserve));
+  }
+  state.SetItemsProcessed(state.iterations() * n_objects);
+}
+BENCHMARK(BM_ObjectsOfType)->Arg(64)->Arg(4096)->Arg(32768);
 
 void BM_GateCall(benchmark::State& state) {
   Kernel k;

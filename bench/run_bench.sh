@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the kernel-primitive microbenchmarks and writes BENCH_micro.json at the
+# repo root, so the perf trajectory is tracked across PRs (compare against the
+# numbers recorded in docs/PERFORMANCE.md).
+#
+# Usage: bench/run_bench.sh [build_dir] [benchmark_filter]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+filter="${2:-.}"
+
+if [[ ! -x "$build_dir/micro_kernel_ops" ]]; then
+  echo "building micro_kernel_ops in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >&2
+  cmake --build "$build_dir" --target micro_kernel_ops -j >&2
+fi
+
+"$build_dir/micro_kernel_ops" \
+  --benchmark_filter="$filter" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_micro.json" >&2

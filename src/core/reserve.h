@@ -92,11 +92,17 @@ class Reserve final : public KernelObject {
   Quantity total_deposited() const { return deposited_; }
   Energy energy_consumed() const { return ToEnergy(consumed_); }
 
+  // Sub-unit decay remainder (TapEngine only), kept on the reserve itself so
+  // the decay pass needs no side table and dies with the object.
+  double decay_carry() const { return decay_carry_; }
+  void set_decay_carry(double c) { decay_carry_ = c; }
+
  private:
   ResourceKind kind_;
   Quantity level_ = 0;
   Quantity consumed_ = 0;
   Quantity deposited_ = 0;
+  double decay_carry_ = 0.0;
   bool allow_debt_ = false;
   bool decay_exempt_ = false;
 };

@@ -17,6 +17,16 @@ void EnergyAwareScheduler::AddThread(ObjectId thread_id) {
     }
   }
   threads_.push_back(thread_id);
+  cache_valid_ = false;
+}
+
+void EnergyAwareScheduler::RefreshCache() {
+  thread_cache_.resize(threads_.size());
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    thread_cache_[i] = kernel_->LookupTyped<Thread>(threads_[i]);
+  }
+  cache_epoch_ = kernel_->mutation_epoch();
+  cache_valid_ = true;
 }
 
 bool EnergyAwareScheduler::HasEnergy(const Thread& t) const {
@@ -39,10 +49,13 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now,
   if (threads_.empty()) {
     return kInvalidObjectId;
   }
+  if (!cache_valid_ || cache_epoch_ != kernel_->mutation_epoch()) {
+    RefreshCache();
+  }
   const size_t n = threads_.size();
   for (size_t i = 0; i < n; ++i) {
     const size_t idx = (rr_cursor_ + i) % n;
-    Thread* t = kernel_->LookupTyped<Thread>(threads_[idx]);
+    Thread* t = thread_cache_[idx];
     if (t == nullptr) {
       continue;
     }
@@ -136,6 +149,8 @@ void EnergyAwareScheduler::OnObjectDeleted(ObjectId id, ObjectType type) {
       rr_cursor_ = 0;
     }
   }
+  // The cached pointers are positional; drop them eagerly on any deletion.
+  cache_valid_ = false;
 }
 
 }  // namespace cinder

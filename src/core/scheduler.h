@@ -51,8 +51,15 @@ class EnergyAwareScheduler : public KernelObserver {
   void OnObjectDeleted(ObjectId id, ObjectType type) override;
 
  private:
+  // Re-resolves thread pointers when the kernel mutation epoch moved; the
+  // steady-state pick loop then touches no id maps at all.
+  void RefreshCache();
+
   Kernel* kernel_;
   std::vector<ObjectId> threads_;
+  std::vector<Thread*> thread_cache_;  // Parallel to threads_.
+  uint64_t cache_epoch_ = 0;
+  bool cache_valid_ = false;
   size_t rr_cursor_ = 0;
 };
 

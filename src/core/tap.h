@@ -60,6 +60,9 @@ class Tap final : public KernelObject {
   void EmbedCredentials(Label actor, CategorySet privs) {
     actor_label_ = std::move(actor);
     embedded_privs_ = std::move(privs);
+    // Credential changes alter which flows pass the label check, so cached
+    // flow plans must be rebuilt.
+    BumpMutationEpoch();
   }
 
   // -- Flow bookkeeping (TapEngine only) ---------------------------------------

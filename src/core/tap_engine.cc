@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "src/base/log.h"
 
@@ -25,11 +26,12 @@ bool TapEngine::Register(ObjectId tap_id) {
       tap->source() == tap->sink()) {
     return false;
   }
-  if (IsRegistered(tap_id)) {
+  auto it = std::lower_bound(taps_.begin(), taps_.end(), tap_id);
+  if (it != taps_.end() && *it == tap_id) {
     return true;
   }
-  taps_.push_back(tap_id);
-  std::sort(taps_.begin(), taps_.end());
+  taps_.insert(it, tap_id);
+  plan_valid_ = false;
   return true;
 }
 
@@ -37,9 +39,51 @@ bool TapEngine::IsRegistered(ObjectId tap_id) const {
   return std::binary_search(taps_.begin(), taps_.end(), tap_id);
 }
 
+void TapEngine::RebuildPlan() {
+  plan_.clear();
+  decay_plan_.clear();
+  std::unordered_map<ObjectId, uint32_t> source_group;
+  source_group.reserve(taps_.size());
+  for (ObjectId id : taps_) {
+    Tap* tap = kernel_->LookupTyped<Tap>(id);
+    if (tap == nullptr) {
+      continue;
+    }
+    Reserve* src = kernel_->LookupTyped<Reserve>(tap->source());
+    Reserve* dst = kernel_->LookupTyped<Reserve>(tap->sink());
+    if (src == nullptr || dst == nullptr) {
+      continue;  // Endpoint deleted; tap is inert until deleted itself.
+    }
+    // The tap acts with its embedded credentials: it must be able to use
+    // (observe + modify) both endpoints. Any label or credential change bumps
+    // the kernel epoch, so checking once per plan is exact.
+    if (!Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *src) ||
+        !Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *dst)) {
+      continue;
+    }
+    auto [it, inserted] =
+        source_group.emplace(tap->source(), static_cast<uint32_t>(source_group.size()));
+    plan_.push_back({tap, src, dst, it->second});
+  }
+  want_.resize(plan_.size());
+  group_demand_.resize(source_group.size());
+  for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
+    if (id == battery_reserve_) {
+      continue;
+    }
+    decay_plan_.push_back(kernel_->LookupTyped<Reserve>(id));
+  }
+  battery_cache_ = kernel_->LookupTyped<Reserve>(battery_reserve_);
+  plan_epoch_ = kernel_->mutation_epoch();
+  plan_valid_ = true;
+}
+
 void TapEngine::RunBatch(Duration dt) {
   if (!dt.IsPositive()) {
     return;
+  }
+  if (!PlanIsCurrent()) {
+    RebuildPlan();
   }
   // Two passes. Pass 1 computes each tap's demand for this batch; pass 2
   // executes transfers in id (creation) order, giving taps that contend for
@@ -49,60 +93,47 @@ void TapEngine::RunBatch(Duration dt) {
   // oldest tap winning every batch). Deposits made by earlier taps in the
   // same batch are visible to later ones, so feed taps created before their
   // consumers pipeline within a single batch. Fully deterministic.
-  struct Flow {
-    Tap* tap = nullptr;
-    Reserve* src = nullptr;
-    Reserve* dst = nullptr;
-    double want = 0.0;
-  };
-  std::vector<Flow> flows;
-  flows.reserve(taps_.size());
-  std::map<ObjectId, double> remaining_demand;
   const double dt_s = dt.seconds_f();
-  for (ObjectId id : taps_) {
-    Tap* tap = kernel_->LookupTyped<Tap>(id);
-    if (tap == nullptr || !tap->enabled()) {
+  std::fill(group_demand_.begin(), group_demand_.end(), 0.0);
+  const size_t n = plan_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const PlanEntry& e = plan_[i];
+    if (!e.tap->enabled()) {
+      want_[i] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
       continue;
     }
-    Reserve* src = kernel_->LookupTyped<Reserve>(tap->source());
-    Reserve* dst = kernel_->LookupTyped<Reserve>(tap->sink());
-    if (src == nullptr || dst == nullptr) {
-      continue;  // Endpoint deleted; tap is inert until deleted itself.
-    }
-    // The tap acts with its embedded credentials: it must be able to use
-    // (observe + modify) both endpoints.
-    if (!Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *src) ||
-        !Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *dst)) {
-      continue;
-    }
-    double want = tap->carry();
-    if (tap->tap_type() == TapType::kConstant) {
-      want += static_cast<double>(tap->rate_per_sec()) * dt_s;
+    double want = e.tap->carry();
+    if (e.tap->tap_type() == TapType::kConstant) {
+      want += static_cast<double>(e.tap->rate_per_sec()) * dt_s;
     } else {
-      const Quantity level = src->level() > 0 ? src->level() : 0;
-      want += static_cast<double>(level) * tap->fraction_per_sec() * dt_s;
+      const Quantity level = e.src->level() > 0 ? e.src->level() : 0;
+      want += static_cast<double>(level) * e.tap->fraction_per_sec() * dt_s;
     }
-    flows.push_back({tap, src, dst, want});
-    remaining_demand[tap->source()] += want;
+    want_[i] = want;
+    group_demand_[e.group] += want;
   }
-  for (Flow& f : flows) {
-    double& demand = remaining_demand[f.tap->source()];
-    const double avail =
-        f.src->level() > 0 ? static_cast<double>(f.src->level()) : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double want = want_[i];
+    if (want < 0.0) {
+      continue;
+    }
+    const PlanEntry& e = plan_[i];
+    double& demand = group_demand_[e.group];
+    const double avail = e.src->level() > 0 ? static_cast<double>(e.src->level()) : 0.0;
     const double scale = (demand > avail && demand > 0.0) ? avail / demand : 1.0;
-    const double granted = f.want * scale;
-    demand -= f.want;
+    const double granted = want * scale;
+    demand -= want;
     auto whole = static_cast<Quantity>(granted);
     // The carry keeps only the sub-unit part of the granted flow; demand the
     // source could not cover is dropped, not banked.
-    f.tap->set_carry(granted - static_cast<double>(whole));
+    e.tap->set_carry(granted - static_cast<double>(whole));
     if (whole <= 0) {
       continue;
     }
-    const Quantity moved = f.src->Withdraw(whole);
+    const Quantity moved = e.src->Withdraw(whole);
     if (moved > 0) {
-      f.dst->Deposit(moved);
-      f.tap->AddTransferred(moved);
+      e.dst->Deposit(moved);
+      e.tap->AddTransferred(moved);
       total_tap_flow_ += moved;
     }
   }
@@ -112,21 +143,16 @@ void TapEngine::RunBatch(Duration dt) {
 }
 
 void TapEngine::DecayReserves(Duration dt) {
-  Reserve* battery = kernel_->LookupTyped<Reserve>(battery_reserve_);
+  Reserve* battery = battery_cache_;
   // Leak fraction for this interval: 1 - 2^(-dt / half_life).
   const double frac = 1.0 - std::exp2(-dt.seconds_f() / decay_.half_life.seconds_f());
-  for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
-    if (id == battery_reserve_) {
+  for (Reserve* r : decay_plan_) {
+    if (r->decay_exempt() || r->kind() != ResourceKind::kEnergy || r->level() <= 0) {
       continue;
     }
-    Reserve* r = kernel_->LookupTyped<Reserve>(id);
-    if (r == nullptr || r->decay_exempt() || r->kind() != ResourceKind::kEnergy ||
-        r->level() <= 0) {
-      continue;
-    }
-    double want = decay_carry_[id] + static_cast<double>(r->level()) * frac;
+    double want = r->decay_carry() + static_cast<double>(r->level()) * frac;
     auto whole = static_cast<Quantity>(want);
-    decay_carry_[id] = want - static_cast<double>(whole);
+    r->set_decay_carry(want - static_cast<double>(whole));
     if (whole <= 0) {
       continue;
     }
@@ -155,9 +181,11 @@ void TapEngine::OnObjectDeleted(ObjectId id, ObjectType type) {
     if (it != taps_.end() && *it == id) {
       taps_.erase(it);
     }
-  } else if (type == ObjectType::kReserve) {
-    decay_carry_.erase(id);
   }
+  // The kernel bumps its mutation epoch on every delete, but the cached plan
+  // holds raw pointers, so drop it eagerly rather than risk a stale read
+  // before the next epoch check.
+  plan_valid_ = false;
 }
 
 }  // namespace cinder

@@ -10,7 +10,7 @@
 // conservation holds to the nanojoule.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "src/base/units.h"
@@ -56,18 +56,42 @@ class TapEngine : public KernelObserver {
   Quantity total_tap_flow() const { return total_tap_flow_; }
   Quantity total_decay_flow() const { return total_decay_flow_; }
 
-  // KernelObserver: drop deleted taps; forget decay carries of deleted
-  // reserves.
+  // KernelObserver: drop deleted taps from the registry.
   void OnObjectDeleted(ObjectId id, ObjectType type) override;
 
  private:
+  // One registered tap with everything the batch loop needs pre-resolved:
+  // endpoint pointers and the label check, both valid while the kernel's
+  // mutation epoch is unchanged. `group` indexes the per-source demand
+  // scratch slot shared by all taps draining the same reserve.
+  struct PlanEntry {
+    Tap* tap;
+    Reserve* src;
+    Reserve* dst;
+    uint32_t group;
+  };
+
+  bool PlanIsCurrent() const {
+    return plan_valid_ && plan_epoch_ == kernel_->mutation_epoch();
+  }
+  void RebuildPlan();
   void DecayReserves(Duration dt);
 
   Kernel* kernel_;
   ObjectId battery_reserve_;
   DecayConfig decay_;
   std::vector<ObjectId> taps_;  // Creation order == id order.
-  std::map<ObjectId, double> decay_carry_;
+
+  // Cached flow plan + reusable scratch, so steady-state RunBatch is a tight
+  // loop over flat arrays with zero heap allocation.
+  std::vector<PlanEntry> plan_;
+  std::vector<Reserve*> decay_plan_;   // Non-battery reserves, id order.
+  std::vector<double> want_;           // Per plan entry; -1 marks "skip".
+  std::vector<double> group_demand_;   // Per distinct source reserve.
+  Reserve* battery_cache_ = nullptr;
+  uint64_t plan_epoch_ = 0;
+  bool plan_valid_ = false;
+
   Quantity total_tap_flow_ = 0;
   Quantity total_decay_flow_ = 0;
 };

@@ -10,21 +10,45 @@ Kernel::Kernel() {
   // The root container is the only object without a parent; it anchors the
   // container hierarchy and, in Cinder, holds the battery root reserve.
   ObjectId id = next_id_++;
-  auto root = std::make_unique<Container>(id, Label(Level::k1), "root");
-  objects_.emplace(id, std::move(root));
+  InsertObject(id, std::make_unique<Container>(id, Label(Level::k1), "root"));
   root_id_ = id;
 }
 
 Kernel::~Kernel() = default;
 
-KernelObject* Kernel::Lookup(ObjectId id) {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
+void Kernel::InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj) {
+  obj->AttachMutationEpoch(&mutation_epoch_);
+  by_type_[static_cast<size_t>(obj->type())].push_back(id);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(obj);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(obj));
+  }
+  if (id >= id_to_slot_.size()) {
+    id_to_slot_.resize(id + 1, kNoSlot);
+  }
+  id_to_slot_[id] = slot;
+  ++mutation_epoch_;
 }
 
-const KernelObject* Kernel::Lookup(ObjectId id) const {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
+void Kernel::EraseObject(ObjectId id) {
+  const uint32_t slot = id_to_slot_[id];
+  auto& index = by_type_[static_cast<size_t>(slots_[slot]->type())];
+  auto it = std::lower_bound(index.begin(), index.end(), id);
+  if (it != index.end() && *it == id) {
+    index.erase(it);
+  }
+  slots_[slot].reset();
+  free_slots_.push_back(slot);
+  // Ids are never reused, so the entry just goes dead. The map costs 4 bytes
+  // per id ever created; trimming it would make churn quadratic, because the
+  // next (monotonic) id has to re-fill the freed tail.
+  id_to_slot_[id] = kNoSlot;
+  ++mutation_epoch_;
 }
 
 Status Kernel::Delete(ObjectId id) {
@@ -65,7 +89,7 @@ void Kernel::DeleteRecursive(ObjectId id, std::vector<std::pair<ObjectId, Object
     }
   }
   deleted->emplace_back(id, obj->type());
-  objects_.erase(id);
+  EraseObject(id);
 }
 
 Status Kernel::Move(ObjectId id, ObjectId new_parent) {
@@ -93,18 +117,8 @@ Status Kernel::Move(ObjectId id, ObjectId new_parent) {
   }
   np->AddChild(id);
   obj->set_parent(new_parent);
+  ++mutation_epoch_;
   return Status::kOk;
-}
-
-std::vector<ObjectId> Kernel::ObjectsOfType(ObjectType t) const {
-  std::vector<ObjectId> out;
-  for (const auto& [id, obj] : objects_) {
-    if (obj->type() == t) {
-      out.push_back(id);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 GateReply Kernel::GateCall(Thread& caller, ObjectId gate_id, const GateMessage& msg) {

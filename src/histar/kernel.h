@@ -7,8 +7,9 @@
 // here like any other object; the kernel is agnostic to their semantics.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -53,7 +54,7 @@ class Kernel {
     auto obj = std::make_unique<T>(id, std::forward<Args>(args)...);
     T* raw = obj.get();
     raw->set_parent(parent);
-    objects_.emplace(id, std::move(obj));
+    InsertObject(id, std::move(obj));
     c->AddChild(id);
     return raw;
   }
@@ -64,8 +65,23 @@ class Kernel {
   // Reparents an object into another container.
   Status Move(ObjectId id, ObjectId new_parent);
 
-  KernelObject* Lookup(ObjectId id);
-  const KernelObject* Lookup(ObjectId id) const;
+  // O(1): two array indexes (id -> slot -> object), no hashing. Slots are
+  // recycled through a free list; ids are never reused, so a stale id simply
+  // misses in the id->slot map.
+  KernelObject* Lookup(ObjectId id) {
+    if (id >= id_to_slot_.size()) {
+      return nullptr;
+    }
+    const uint32_t slot = id_to_slot_[id];
+    return slot == kNoSlot ? nullptr : slots_[slot].get();
+  }
+  const KernelObject* Lookup(ObjectId id) const {
+    if (id >= id_to_slot_.size()) {
+      return nullptr;
+    }
+    const uint32_t slot = id_to_slot_[id];
+    return slot == kNoSlot ? nullptr : slots_[slot].get();
+  }
 
   template <typename T>
   T* LookupTyped(ObjectId id) {
@@ -86,10 +102,21 @@ class Kernel {
 
   ObjectId root_container_id() const { return root_id_; }
   Container* root_container() { return LookupTyped<Container>(root_id_); }
-  size_t object_count() const { return objects_.size(); }
+  size_t object_count() const { return slots_.size() - free_slots_.size(); }
 
-  // All live object ids of a given type, in id order (deterministic).
-  std::vector<ObjectId> ObjectsOfType(ObjectType t) const;
+  // All live object ids of a given type, in id order (deterministic). The
+  // index is maintained on create/delete, so this is allocation-free — but
+  // the returned reference aliases that live index: creating or deleting an
+  // object of type `t` invalidates it. Copy first if you mutate while
+  // iterating.
+  const std::vector<ObjectId>& ObjectsOfType(ObjectType t) const {
+    return by_type_[static_cast<size_t>(t)];
+  }
+
+  // Bumped on every object create/delete/move and on label or embedded
+  // credential changes. Caches that resolve ids to pointers (flow plans,
+  // run queues) are valid exactly while the epoch is unchanged.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   // -- Labels & privileges -----------------------------------------------------
   CategoryAllocator& categories() { return categories_; }
@@ -137,12 +164,27 @@ class Kernel {
   int64_t total_deleted() const { return total_deleted_; }
 
  private:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr size_t kNumTypes = 8;
+
   template <typename T>
   static constexpr ObjectType TypeOf();
 
+  void InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj);
+  void EraseObject(ObjectId id);
   void DeleteRecursive(ObjectId id, std::vector<std::pair<ObjectId, ObjectType>>* deleted);
 
-  std::unordered_map<ObjectId, std::unique_ptr<KernelObject>> objects_;
+  // Slab-style object table: dense slot array + free list, with a flat
+  // id->slot map (ids are sequential and never reused, so a vector indexed
+  // by id suffices; dead entries stay as kNoSlot tombstones).
+  std::vector<std::unique_ptr<KernelObject>> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> id_to_slot_;
+  // Per-type live-object indices, id-ordered (append-only on create since ids
+  // are monotonic; binary-search erase on delete).
+  std::array<std::vector<ObjectId>, kNumTypes> by_type_;
+  uint64_t mutation_epoch_ = 0;
+
   ObjectId next_id_ = 1;
   ObjectId root_id_ = kInvalidObjectId;
   CategoryAllocator categories_;

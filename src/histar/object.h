@@ -41,12 +41,28 @@ class KernelObject {
   ObjectId id() const { return id_; }
   ObjectType type() const { return type_; }
   const Label& label() const { return label_; }
-  void set_label(Label l) { label_ = std::move(l); }
+  void set_label(Label l) {
+    label_ = std::move(l);
+    BumpMutationEpoch();
+  }
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
   ObjectId parent() const { return parent_; }
   void set_parent(ObjectId p) { parent_ = p; }
+
+  // Kernel wiring: registered objects share the kernel's mutation epoch so
+  // security-relevant mutations (label changes, embedded-credential changes)
+  // invalidate caches keyed on it (the tap engine's flow plan, the
+  // scheduler's resolved run queue). Null for objects built outside a kernel.
+  void AttachMutationEpoch(uint64_t* epoch) { mutation_epoch_ = epoch; }
+
+ protected:
+  void BumpMutationEpoch() {
+    if (mutation_epoch_ != nullptr) {
+      ++*mutation_epoch_;
+    }
+  }
 
  private:
   ObjectId id_;
@@ -54,6 +70,7 @@ class KernelObject {
   Label label_;
   std::string name_;
   ObjectId parent_ = kInvalidObjectId;
+  uint64_t* mutation_epoch_ = nullptr;
 };
 
 }  // namespace cinder

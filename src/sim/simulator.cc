@@ -30,6 +30,19 @@ Simulator::Simulator(SimConfig config)
   boot_thread_ = boot->id();
 
   next_tap_batch_ = now_ + config_.tap_batch;
+
+  has_body_fn_ = [this](ObjectId id) { return bodies_.find(id) != bodies_.end(); };
+  const Duration q = config_.quantum;
+  cpu_memory_power_ = Power::Microwatts(
+      static_cast<int64_t>(static_cast<double>(config_.model.cpu_active.uw()) *
+                           (1.0 + config_.model.cpu_memory_premium)));
+  baseline_quantum_energy_ = config_.model.idle_baseline * q;
+  backlight_quantum_energy_ = config_.model.backlight * q;
+  cpu_quantum_estimate_ = config_.model.cpu_active * q;
+  cpu_quantum_estimate_memory_ = Energy::Nanojoules(
+      static_cast<int64_t>(static_cast<double>(cpu_quantum_estimate_.nj()) *
+                           (1.0 + config_.model.cpu_memory_premium)));
+  baseline_quantum_quantity_ = ToQuantity(baseline_quantum_energy_);
 }
 
 Simulator::~Simulator() = default;
@@ -93,19 +106,24 @@ void Simulator::Step() {
   // Energy-aware scheduling: one quantum for the chosen thread. Threads
   // without an attached body are pure principals (service anchors, setup
   // helpers); they never occupy CPU quanta.
-  ObjectId tid = scheduler_->PickNext(
-      now_, [this](ObjectId id) { return bodies_.find(id) != bodies_.end(); });
+  ObjectId tid = scheduler_->PickNext(now_, has_body_fn_);
   Thread* t = tid != kInvalidObjectId ? kernel_.LookupTyped<Thread>(tid) : nullptr;
   auto body_it = bodies_.find(tid);
-  const bool runs = t != nullptr && body_it != bodies_.end();
+  // Keep a raw pointer, not the iterator: a body that attaches new bodies
+  // during its quantum can rehash the map, which invalidates iterators but
+  // not the pointed-to elements.
+  ThreadBody* body = body_it != bodies_.end() ? body_it->second.get() : nullptr;
+  const bool runs = t != nullptr && body != nullptr;
   cpu_busy_last_quantum_ = runs;
   last_run_thread_ = runs ? tid : kInvalidObjectId;
+  last_memory_heavy_ = false;
   if (runs) {
     QuantumContext ctx{*this, kernel_, *t, now_, q};
-    body_it->second->OnQuantum(ctx);
+    body->OnQuantum(ctx);
     t->IncrementQuantaRun();
+    last_memory_heavy_ = body->memory_intensive();
     // Bill the quantum even if the body blocked midway: the CPU was granted.
-    ChargeQuantum(tid);
+    ChargeQuantum(*t, last_memory_heavy_);
   }
 
   // Devices advance and the battery drains true energy.
@@ -125,40 +143,28 @@ void Simulator::Step() {
   // Kernel-side estimates for platform components (billed to the system; the
   // CPU estimate was billed per-thread in ChargeQuantum and netd bills radio
   // usage to callers).
-  meter_.Record(Component::kBaseline, kSystemPrincipal, config_.model.idle_baseline * q);
+  meter_.Record(Component::kBaseline, kSystemPrincipal, baseline_quantum_energy_);
   if (backlight_on_) {
-    meter_.Record(Component::kBacklight, kSystemPrincipal, config_.model.backlight * q);
+    meter_.Record(Component::kBacklight, kSystemPrincipal, backlight_quantum_energy_);
   }
 
   // The battery reserve (rights graph root) tracks baseline drain so the
   // spendable-rights view stays aligned with physical reality.
   if (Reserve* root = battery_reserve(); root != nullptr) {
-    root->ConsumeUpTo(ToQuantity(config_.model.idle_baseline * q));
+    root->ConsumeUpTo(baseline_quantum_quantity_);
   }
 
   probe_.OnTick(now_);
   now_ += q;
 }
 
-void Simulator::ChargeQuantum(ObjectId thread_id) {
-  Thread* t = kernel_.LookupTyped<Thread>(thread_id);
-  if (t == nullptr) {
-    return;
-  }
-  const Duration q = config_.quantum;
+void Simulator::ChargeQuantum(Thread& t, bool memory_heavy) {
   // The estimate assumes the worst-case instruction mix (the Dream has no
   // counters to tell), so estimated == worst case; the true draw honors the
   // body's actual mix.
-  Energy estimate = config_.model.cpu_active * q;
-  auto it = bodies_.find(thread_id);
-  const bool memory_heavy = it != bodies_.end() && it->second->memory_intensive();
-  if (memory_heavy) {
-    estimate = Energy::Nanojoules(
-        static_cast<int64_t>(static_cast<double>(estimate.nj()) *
-                             (1.0 + config_.model.cpu_memory_premium)));
-  }
-  Energy billed = scheduler_->ChargeCpu(*t, estimate);
-  meter_.Record(Component::kCpu, thread_id, billed);
+  const Energy estimate = memory_heavy ? cpu_quantum_estimate_memory_ : cpu_quantum_estimate_;
+  Energy billed = scheduler_->ChargeCpu(t, estimate);
+  meter_.Record(Component::kCpu, t.id(), billed);
 }
 
 Power Simulator::TrueInstantaneousPower() const {
@@ -167,13 +173,7 @@ Power Simulator::TrueInstantaneousPower() const {
     p += config_.model.backlight;
   }
   if (cpu_busy_last_quantum_) {
-    Power cpu = config_.model.cpu_active;
-    auto it = bodies_.find(last_run_thread_);
-    if (it != bodies_.end() && it->second->memory_intensive()) {
-      cpu = Power::Microwatts(static_cast<int64_t>(
-          static_cast<double>(cpu.uw()) * (1.0 + config_.model.cpu_memory_premium)));
-    }
-    p += cpu;
+    p += last_memory_heavy_ ? cpu_memory_power_ : config_.model.cpu_active;
   }
   p += radio_.ExtraPower();
   for (const auto& source : extra_power_sources_) {

@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -63,7 +63,16 @@ class Simulator final : public PowerSource {
   PowerSupplyProbe& probe() { return probe_; }
   SimTime now() const { return now_; }
   ObjectId battery_reserve_id() const { return battery_reserve_; }
-  Reserve* battery_reserve() { return kernel_.LookupTyped<Reserve>(battery_reserve_); }
+  // Cached against the kernel mutation epoch: steady-state quanta pay no
+  // lookup at all, while any create/delete re-resolves the pointer.
+  Reserve* battery_reserve() {
+    const uint64_t epoch = kernel_.mutation_epoch();
+    if (battery_cache_epoch_ != epoch) {
+      battery_cache_ = kernel_.LookupTyped<Reserve>(battery_reserve_);
+      battery_cache_epoch_ = epoch;
+    }
+    return battery_cache_;
+  }
   // A privileged init thread usable for setup syscalls.
   Thread* boot_thread() { return kernel_.LookupTyped<Thread>(boot_thread_); }
 
@@ -120,7 +129,7 @@ class Simulator final : public PowerSource {
 
  private:
   void RunTimedCallbacks();
-  void ChargeQuantum(ObjectId thread_id);
+  void ChargeQuantum(Thread& t, bool memory_heavy);
 
   SimConfig config_;
   Kernel kernel_;
@@ -137,7 +146,7 @@ class Simulator final : public PowerSource {
   SimTime now_;
   SimTime next_tap_batch_;
 
-  std::map<ObjectId, std::unique_ptr<ThreadBody>> bodies_;
+  std::unordered_map<ObjectId, std::unique_ptr<ThreadBody>> bodies_;
 
   struct TimedCallback {
     SimTime when;
@@ -153,9 +162,22 @@ class Simulator final : public PowerSource {
   std::vector<std::function<Power()>> extra_power_sources_;
   bool backlight_on_ = false;
   bool cpu_busy_last_quantum_ = false;
+  bool last_memory_heavy_ = false;  // Snapshot of the last-run body's mix.
   ObjectId last_run_thread_ = kInvalidObjectId;
   Energy pending_data_energy_;  // Radio per-byte energy to drain next quantum.
   Energy radio_active_energy_;
+
+  // Per-quantum constants hoisted out of Step/ChargeQuantum (the model and
+  // quantum are fixed after construction).
+  std::function<bool(ObjectId)> has_body_fn_;
+  Reserve* battery_cache_ = nullptr;
+  uint64_t battery_cache_epoch_ = UINT64_MAX;
+  Power cpu_memory_power_;          // cpu_active * (1 + memory premium).
+  Energy baseline_quantum_energy_;  // idle_baseline * quantum.
+  Energy backlight_quantum_energy_;
+  Energy cpu_quantum_estimate_;
+  Energy cpu_quantum_estimate_memory_;
+  Quantity baseline_quantum_quantity_ = 0;
 };
 
 }  // namespace cinder

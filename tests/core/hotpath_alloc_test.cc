@@ -1,0 +1,85 @@
+// Asserts the acceptance criterion that steady-state RunBatch and
+// DecayReserves perform zero heap allocations: after the first batch builds
+// the cached flow plan, subsequent batches must be pure loops over flat
+// arrays. Lives in its own test binary because it interposes the global
+// operator new/delete to count allocations.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "src/core/tap_engine.h"
+
+namespace {
+unsigned long long g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cinder {
+namespace {
+
+TEST(HotPathAllocTest, SteadyStateBatchAndDecayAreAllocationFree) {
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = true;
+
+  // A representative mix: constant and proportional taps, shared sources,
+  // plus plain reserves for the decay pass to walk.
+  for (int i = 0; i < 64; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    r->Deposit(1000000000);
+    Tap* tap =
+        k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", battery->id(), r->id());
+    if (i % 2 == 0) {
+      tap->SetConstantPower(Power::Milliwatts(1));
+    } else {
+      tap->SetProportionalRate(0.01);
+    }
+    ASSERT_TRUE(engine.Register(tap->id()));
+  }
+  for (int i = 0; i < 32; ++i) {
+    k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "hoard")->Deposit(500000000);
+  }
+
+  // First batch builds the plan (allocates); from then on: zero.
+  engine.RunBatch(Duration::Millis(10));
+  const unsigned long long before = g_allocations;
+  for (int i = 0; i < 1000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations, before);
+  EXPECT_GT(engine.total_tap_flow(), 0);
+  EXPECT_GT(engine.total_decay_flow(), 0);
+}
+
+TEST(HotPathAllocTest, KernelLookupAndObjectsOfTypeAreAllocationFree) {
+  Kernel k;
+  Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+  const unsigned long long before = g_allocations;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(k.Lookup(r->id()), nullptr);
+    ASSERT_EQ(k.ObjectsOfType(ObjectType::kReserve).size(), 1u);
+  }
+  EXPECT_EQ(g_allocations, before);
+}
+
+}  // namespace
+}  // namespace cinder

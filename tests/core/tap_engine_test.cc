@@ -243,6 +243,158 @@ TEST_F(TapEngineTest, ConservationExactUnderMixedFlows) {
   EXPECT_EQ(TotalInSystem(), before);  // Exact to the nanojoule.
 }
 
+// -- Flow-plan cache invalidation ---------------------------------------------
+// The engine caches resolved endpoint pointers and label-check results,
+// invalidated by the kernel mutation epoch. Every mutation that changes what
+// may flow must be visible in the very next batch.
+
+TEST_F(TapEngineTest, EndpointLabelChangeInvalidatesCachedPlan) {
+  Reserve* src = NewReserve("src");
+  src->Deposit(1000000);
+  Reserve* dst = NewReserve("dst");
+  Tap* tap = NewTap(src->id(), dst->id(), "tap");
+  tap->SetConstantRate(100000);
+  engine_->RunBatch(Duration::Millis(10));
+  const Quantity first = dst->level();
+  EXPECT_GT(first, 0);
+
+  // Guard the source with a category the tap does not own: the cached label
+  // check must be re-evaluated and the flow must stop.
+  Category cat = k_.categories().Allocate();
+  Label guarded(Level::k1);
+  guarded.Set(cat, Level::k3);
+  src->set_label(guarded);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(dst->level(), first);
+
+  // Restore the label: flow resumes.
+  src->set_label(Label(Level::k1));
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_GT(dst->level(), first);
+}
+
+TEST_F(TapEngineTest, EmbeddingCredentialsMidRunInvalidatesCachedPlan) {
+  Category cat = k_.categories().Allocate();
+  Label guarded(Level::k1);
+  guarded.Set(cat, Level::k3);
+  Reserve* src = k_.Create<Reserve>(k_.root_container_id(), guarded, "src");
+  src->Deposit(1000);
+  Reserve* dst = NewReserve("dst");
+  Tap* tap = NewTap(src->id(), dst->id(), "tap");
+  tap->SetConstantRate(1000000);
+  engine_->RunBatch(Duration::Millis(10));  // Warms the plan: tap excluded.
+  EXPECT_EQ(dst->level(), 0);
+  CategorySet privs;
+  privs.Add(cat);
+  tap->EmbedCredentials(Label(Level::k1), privs);  // Must bump the epoch.
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(dst->level(), 1000);
+}
+
+TEST_F(TapEngineTest, DeletingEndpointMidRunDisablesFlowNextBatch) {
+  Reserve* src = NewReserve("src");
+  src->Deposit(1000000);
+  Reserve* dst = NewReserve("dst");
+  Tap* tap = NewTap(src->id(), dst->id(), "tap");
+  tap->SetConstantRate(100000);
+  engine_->RunBatch(Duration::Millis(10));  // Plan is warm and holds dst*.
+  const Quantity moved = engine_->total_tap_flow();
+  EXPECT_GT(moved, 0);
+  EXPECT_EQ(k_.Delete(dst->id()), Status::kOk);
+  engine_->RunBatch(Duration::Millis(10));  // Must not touch the dead reserve.
+  EXPECT_EQ(engine_->total_tap_flow(), moved);
+  EXPECT_TRUE(engine_->IsRegistered(tap->id()));  // Tap itself stays, inert.
+}
+
+TEST_F(TapEngineTest, DeletingTapMidRunAfterWarmPlan) {
+  Reserve* a = NewReserve("a");
+  Reserve* b = NewReserve("b");
+  Tap* keep = NewTap(battery_->id(), a->id(), "keep");
+  keep->SetConstantPower(Power::Milliwatts(10));
+  Tap* doomed = NewTap(battery_->id(), b->id(), "doomed");
+  doomed->SetConstantPower(Power::Milliwatts(10));
+  engine_->RunBatch(Duration::Millis(10));
+  const Quantity b_before = b->level();
+  EXPECT_GT(b_before, 0);
+  EXPECT_EQ(k_.Delete(doomed->id()), Status::kOk);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(b->level(), b_before);  // Deleted tap moved nothing.
+  EXPECT_GT(a->level(), 0);         // Survivor keeps flowing.
+}
+
+TEST_F(TapEngineTest, EnableToggleIsVisibleWithoutEpochBump) {
+  // enabled() is checked per batch, not cached in the plan, so a toggle with
+  // no intervening kernel mutation still takes effect immediately.
+  Reserve* app = NewReserve("app");
+  Tap* tap = NewTap(battery_->id(), app->id(), "tap");
+  tap->SetConstantPower(Power::Milliwatts(100));
+  engine_->RunBatch(Duration::Millis(10));
+  const Quantity first = app->level();
+  EXPECT_GT(first, 0);
+  tap->set_enabled(false);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_EQ(app->level(), first);
+  tap->set_enabled(true);
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_GT(app->level(), first);
+}
+
+TEST_F(TapEngineTest, RegisteringTapAfterWarmPlanJoinsNextBatch) {
+  Reserve* a = NewReserve("a");
+  Tap* t1 = NewTap(battery_->id(), a->id(), "t1");
+  t1->SetConstantPower(Power::Milliwatts(10));
+  engine_->RunBatch(Duration::Millis(10));
+  Reserve* b = NewReserve("b");
+  Tap* t2 = NewTap(battery_->id(), b->id(), "t2");  // NewTap registers.
+  t2->SetConstantPower(Power::Milliwatts(10));
+  engine_->RunBatch(Duration::Millis(10));
+  EXPECT_GT(b->level(), 0);
+}
+
+// -- Determinism regression ----------------------------------------------------
+// Golden values generated from the pre-flow-plan implementation (seed commit,
+// hash-map kernel + per-batch lookups). The cached-plan engine must reproduce
+// them bit-for-bit: same flow order, same carries, same totals.
+TEST_F(TapEngineTest, FlowResultsMatchPreRefactorGolden) {
+  Reserve* a = NewReserve("a");
+  Reserve* b = NewReserve("b");
+  Reserve* c = NewReserve("c");
+  b->Deposit(123456789);
+  engine_->decay().enabled = true;
+  engine_->decay().half_life = Duration::Minutes(10);
+
+  Tap* t1 = NewTap(battery_->id(), a->id(), "t1");
+  t1->SetConstantPower(Power::Milliwatts(137));
+  Tap* t2 = NewTap(a->id(), b->id(), "t2");
+  t2->SetProportionalRate(0.2);
+  Tap* t3 = NewTap(b->id(), c->id(), "t3");
+  t3->SetConstantPower(Power::Milliwatts(5));
+  Tap* t4 = NewTap(c->id(), battery_->id(), "t4");
+  t4->SetProportionalRate(0.1);
+  Tap* t5 = NewTap(a->id(), c->id(), "t5");  // Contends with t6 for `a`.
+  t5->SetConstantPower(Power::Milliwatts(300));
+  Tap* t6 = NewTap(a->id(), b->id(), "t6");
+  t6->SetConstantPower(Power::Milliwatts(300));
+
+  for (int i = 0; i < 10000; ++i) {
+    engine_->RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(battery_->level(), 14993289991941);
+  EXPECT_EQ(a->level(), 0);
+  EXPECT_EQ(b->level(), 6106888219);
+  EXPECT_EQ(c->level(), 726576629);
+  EXPECT_EQ(t1->total_transferred(), 13700000000);
+  EXPECT_EQ(t2->total_transferred(), 0);
+  EXPECT_EQ(t3->total_transferred(), 500000000);
+  EXPECT_EQ(t4->total_transferred(), 6547771716);
+  EXPECT_EQ(t5->total_transferred(), 6850000000);
+  EXPECT_EQ(t6->total_transferred(), 6850000000);
+  EXPECT_EQ(engine_->total_tap_flow(), 34447771716);
+  EXPECT_EQ(engine_->total_decay_flow(), 442220225);
+  EXPECT_DOUBLE_EQ(t1->carry(), 0.0);
+  EXPECT_DOUBLE_EQ(t5->carry(), 0.0);
+}
+
 TEST_F(TapEngineTest, ZeroAndNegativeBatchDurationsAreNoOps) {
   Reserve* app = NewReserve("app");
   NewTap(battery_->id(), app->id(), "t")->SetConstantPower(Power::Milliwatts(100));
