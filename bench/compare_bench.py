@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON files across PRs.
+
+Prints a ratio table for every benchmark present in both files and exits
+non-zero if any --gate benchmark regressed by more than --max-regression
+(relative real_time increase). Non-gated benchmarks only warn: micro numbers
+on shared CI runners are noisy, so the hard gate is reserved for the
+benchmarks we explicitly track (BM_TapBatch/512 per the roadmap).
+
+Usage:
+  compare_bench.py --baseline OLD.json --current NEW.json \
+      --gate BM_TapBatch/512 [--gate ...] [--max-regression 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # Skip aggregates (mean/median/stddev).
+        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--gate", action="append", default=[],
+                    help="benchmark name that hard-fails on regression")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed relative real_time increase for gated benchmarks")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report gate violations but exit 0 (for baselines from "
+                         "a different machine, where absolute times don't compare)")
+    args = ap.parse_args()
+
+    old = load_times(args.baseline)
+    new = load_times(args.current)
+    common = sorted(set(old) & set(new))
+    if not common:
+        # With gates requested, an empty intersection means the gate silently
+        # disarmed (malformed baseline, crashed bench run) — that must fail.
+        if args.gate:
+            print("compare_bench: no common benchmarks but gates requested; "
+                  "refusing to pass", file=sys.stderr)
+            return 0 if args.warn_only else 1
+        print("compare_bench: no common benchmarks; skipping comparison")
+        return 0
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}")
+    failures = []
+    for name in common:
+        (old_t, old_u), (new_t, new_u) = old[name], new[name]
+        if old_u != new_u:
+            # Raw times in different units are not comparable; a silent 1000x
+            # ratio would make the gate fire (or pass) spuriously.
+            print(f"{name:<{width}}  time_unit changed {old_u} -> {new_u}; not comparable")
+            if name in args.gate:
+                failures.append((name, float("nan")))
+            continue
+        ratio = new_t / old_t if old_t > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.max_regression:
+            if name in args.gate:
+                flag = "  FAIL"
+                failures.append((name, ratio))
+            else:
+                flag = "  (regressed; not gated)"
+        print(f"{name:<{width}}  {old_t:>12.1f}  {new_t:>12.1f}  {ratio:>6.2f}x{flag}")
+
+    # A gate that is not measurable is a gate that is off: fail loudly rather
+    # than let a rename or a truncated run disarm the CI contract.
+    missing_gates = [g for g in args.gate if g not in common]
+    for g in missing_gates:
+        print(f"compare_bench: gated benchmark {g} not present in both files",
+              file=sys.stderr)
+    if missing_gates and not args.warn_only:
+        return 1
+
+    if failures:
+        for name, ratio in failures:
+            print(f"compare_bench: {name} regressed {ratio:.2f}x "
+                  f"(> {1.0 + args.max_regression:.2f}x allowed)", file=sys.stderr)
+        if args.warn_only:
+            print("compare_bench: --warn-only set; not failing", file=sys.stderr)
+            return 0
+        return 1
+    print("compare_bench: gated benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

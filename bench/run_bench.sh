@@ -3,10 +3,28 @@
 # repo root, so the perf trajectory is tracked across PRs (compare against the
 # numbers recorded in docs/PERFORMANCE.md).
 #
-# Usage: bench/run_bench.sh [build_dir] [benchmark_filter]
+# Usage:
+#   bench/run_bench.sh [build_dir] [benchmark_filter]
+#   bench/run_bench.sh --compare BASELINE.json [build_dir] [benchmark_filter]
+#
+# --compare mode additionally diffs the fresh results against BASELINE.json
+# (bench/compare_bench.py) and exits non-zero if the gated benchmark
+# (BM_TapBatch/512) regressed by more than 20% — the cross-PR CI gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+baseline=""
+if [[ "${1:-}" == "--compare" ]]; then
+  baseline="${2:?--compare needs a baseline json path}"
+  shift 2
+  # The run below overwrites BENCH_micro.json, which is a valid baseline
+  # path; snapshot it first.
+  baseline_copy="$(mktemp)"
+  cp "$baseline" "$baseline_copy"
+  baseline="$baseline_copy"
+fi
+
 build_dir="${1:-$repo_root/build}"
 filter="${2:-.}"
 
@@ -23,3 +41,19 @@ fi
   --benchmark_out_format=json
 
 echo "wrote $repo_root/BENCH_micro.json" >&2
+
+if [[ -n "$baseline" ]]; then
+  # COMPARE_WARN_ONLY=1 reports gate violations without failing — for
+  # baselines recorded on a different machine, where absolute times are not
+  # comparable (e.g. CI falling back to the committed BENCH_micro.json).
+  warn_flag=()
+  if [[ "${COMPARE_WARN_ONLY:-0}" == "1" ]]; then
+    warn_flag=(--warn-only)
+  fi
+  python3 "$repo_root/bench/compare_bench.py" \
+    --baseline "$baseline" \
+    --current "$repo_root/BENCH_micro.json" \
+    --gate 'BM_TapBatch/512' \
+    --max-regression 0.20 \
+    "${warn_flag[@]}"
+fi

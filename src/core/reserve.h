@@ -19,6 +19,20 @@
 
 namespace cinder {
 
+class Reserve;
+
+// Receives "this reserve became decayable" events so the tap engine can keep
+// a skip-list of non-empty, non-exempt reserves and stop visiting level-0
+// reserves every decay pass. Fired from Deposit (empty -> non-empty) and from
+// set_decay_exempt (exempt -> leaking); removal is lazy, in the decay pass.
+class ReserveDecayListener {
+ public:
+  virtual void OnReserveDecayable(Reserve* r) = 0;
+
+ protected:
+  ~ReserveDecayListener() = default;
+};
+
 class Reserve final : public KernelObject {
  public:
   Reserve(ObjectId id, Label label, std::string name,
@@ -38,7 +52,12 @@ class Reserve final : public KernelObject {
   // explicitly trusted pools (netd's) should set this (paper section 5.5.2:
   // "the netd reserve is not subject to the system global half-life").
   bool decay_exempt() const { return decay_exempt_; }
-  void set_decay_exempt(bool v) { decay_exempt_ = v; }
+  void set_decay_exempt(bool v) {
+    decay_exempt_ = v;
+    if (!v && level_ > 0 && decay_listener_ != nullptr) {
+      decay_listener_->OnReserveDecayable(this);
+    }
+  }
 
   // -- Mutation (kernel / tap engine only; syscall wrappers check labels) -----
 
@@ -70,8 +89,12 @@ class Reserve final : public KernelObject {
   }
 
   void Deposit(Quantity amount) {
+    const bool was_empty = level_ <= 0;
     level_ += amount;
     deposited_ += amount;
+    if (was_empty && level_ > 0 && decay_listener_ != nullptr) {
+      decay_listener_->OnReserveDecayable(this);
+    }
   }
 
   // Removes up to `amount` for transfer to another reserve (never below 0).
@@ -97,12 +120,30 @@ class Reserve final : public KernelObject {
   double decay_carry() const { return decay_carry_; }
   void set_decay_carry(double c) { decay_carry_ = c; }
 
+  // -- Decay skip-list wiring (TapEngine only) ----------------------------------
+  // Like decay_carry, the skip-list bookkeeping lives on the reserve itself:
+  // the listener pointer, the shard whose decay list this reserve belongs to,
+  // and a membership flag so re-adds are O(1) and duplicate-free. All three
+  // are reassigned whenever the engine rebuilds its plan.
+  void AttachDecayListener(ReserveDecayListener* l, uint32_t shard) {
+    decay_listener_ = l;
+    decay_shard_ = shard;
+  }
+  void DetachDecayListener() { decay_listener_ = nullptr; }
+  ReserveDecayListener* decay_listener() const { return decay_listener_; }
+  uint32_t decay_shard() const { return decay_shard_; }
+  bool in_decay_list() const { return in_decay_list_; }
+  void set_in_decay_list(bool v) { in_decay_list_ = v; }
+
  private:
   ResourceKind kind_;
   Quantity level_ = 0;
   Quantity consumed_ = 0;
   Quantity deposited_ = 0;
   double decay_carry_ = 0.0;
+  ReserveDecayListener* decay_listener_ = nullptr;
+  uint32_t decay_shard_ = 0;
+  bool in_decay_list_ = false;
   bool allow_debt_ = false;
   bool decay_exempt_ = false;
 };

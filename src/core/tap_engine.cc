@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "src/base/log.h"
+#include "src/exec/shard_executor.h"
+#include "src/exec/shard_partitioner.h"
 
 namespace cinder {
 
@@ -13,7 +15,18 @@ TapEngine::TapEngine(Kernel* kernel, ObjectId battery_reserve)
   kernel_->AddObserver(this);
 }
 
-TapEngine::~TapEngine() { kernel_->RemoveObserver(this); }
+TapEngine::~TapEngine() {
+  // Reserves outlive the engine in every embedding (the kernel owns them);
+  // clear the decay-listener back-pointers so later deposits don't call into
+  // a dead engine.
+  for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
+    Reserve* r = kernel_->LookupTyped<Reserve>(id);
+    if (r != nullptr && r->decay_listener() == this) {
+      r->DetachDecayListener();
+    }
+  }
+  kernel_->RemoveObserver(this);
+}
 
 bool TapEngine::Register(ObjectId tap_id) {
   Tap* tap = kernel_->LookupTyped<Tap>(tap_id);
@@ -39,11 +52,23 @@ bool TapEngine::IsRegistered(ObjectId tap_id) const {
   return std::binary_search(taps_.begin(), taps_.end(), tap_id);
 }
 
+void TapEngine::EnableSharding(ShardExecutor* executor) {
+  sharding_ = true;
+  executor_ = executor;
+  if (partitioner_ == nullptr) {
+    partitioner_ = std::make_unique<ShardPartitioner>();
+  }
+  plan_valid_ = false;
+}
+
+void TapEngine::DisableSharding() {
+  sharding_ = false;
+  executor_ = nullptr;
+  plan_valid_ = false;
+}
+
 void TapEngine::RebuildPlan() {
   plan_.clear();
-  decay_plan_.clear();
-  std::unordered_map<ObjectId, uint32_t> source_group;
-  source_group.reserve(taps_.size());
   for (ObjectId id : taps_) {
     Tap* tap = kernel_->LookupTyped<Tap>(id);
     if (tap == nullptr) {
@@ -61,18 +86,147 @@ void TapEngine::RebuildPlan() {
         !Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *dst)) {
       continue;
     }
-    auto [it, inserted] =
-        source_group.emplace(tap->source(), static_cast<uint32_t>(source_group.size()));
-    plan_.push_back({tap, src, dst, it->second});
+    plan_.push_back({tap, src, dst, 0});
   }
-  want_.resize(plan_.size());
-  group_demand_.resize(source_group.size());
-  for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
-    if (id == battery_reserve_) {
+
+  // Shard assignment: one shard per connected component when sharding is on,
+  // a single shard holding everything otherwise. The partitioner caches on
+  // the topology epoch, so label flaps rebuild the plan without re-running
+  // the union-find.
+  num_shards_ = 1;
+  if (sharding_) {
+    const ShardLayout& layout = partitioner_->Partition(*kernel_);
+    num_shards_ = layout.num_shards == 0 ? 1 : layout.num_shards;
+  }
+  const auto n = static_cast<uint32_t>(plan_.size());
+  if (sharding_ && num_shards_ > 1) {
+    // Counting sort into shard-major order, stable so each shard keeps
+    // tap-id order (the order the unsharded engine flows in).
+    entry_shard_.resize(n);
+    shard_plan_begin_.assign(num_shards_ + 1, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t s = partitioner_->ShardOfReserve(plan_[i].src->id());
+      if (s == ShardLayout::kNoShard) {
+        s = 0;  // Unreachable: a plan entry's endpoints are a live tap edge.
+      }
+      entry_shard_[i] = s;
+      ++shard_plan_begin_[s + 1];
+    }
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      shard_plan_begin_[s + 1] += shard_plan_begin_[s];
+    }
+    sorted_plan_.resize(n);
+    std::vector<uint32_t> cursor(shard_plan_begin_.begin(), shard_plan_begin_.end() - 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      sorted_plan_[cursor[entry_shard_[i]]++] = plan_[i];
+    }
+    plan_.swap(sorted_plan_);
+    // Keep the capacity for the next rebuild but drop the stale entries: the
+    // old plan's raw Tap*/Reserve* pointers must not outlive their objects.
+    sorted_plan_.clear();
+  } else {
+    shard_plan_begin_.assign({0, n});
+  }
+
+  // Demand groups (taps sharing a source reserve), numbered contiguously per
+  // shard so each shard owns a disjoint slice of group_demand_. With
+  // multiple shards each slice starts on a cache-line boundary (8 doubles):
+  // pass 1 writes and pass 2 read-modifies these slots every batch, so
+  // back-to-back slices would false-share their boundary lines across
+  // workers. Padding slots belong to the preceding shard (its fill covers
+  // them) and no group index ever points at one.
+  constexpr uint32_t kGroupAlign = 64 / sizeof(double);
+  shard_group_begin_.assign(num_shards_ + 1, 0);
+  std::unordered_map<ObjectId, uint32_t> source_group;
+  uint32_t next_group = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (num_shards_ > 1) {
+      next_group = (next_group + kGroupAlign - 1) / kGroupAlign * kGroupAlign;
+    }
+    shard_group_begin_[s] = next_group;
+    source_group.clear();
+    for (uint32_t i = shard_plan_begin_[s]; i < shard_plan_begin_[s + 1]; ++i) {
+      auto [it, inserted] = source_group.emplace(plan_[i].tap->source(), next_group);
+      if (inserted) {
+        ++next_group;
+      }
+      plan_[i].group = it->second;
+    }
+  }
+  shard_group_begin_[num_shards_] = next_group;
+  // want_ slices get the same treatment as the demand slices: padded starts
+  // per shard (the plan array stays dense; RunShard rebases through
+  // shard_want_begin_ instead).
+  shard_want_begin_.assign(num_shards_ + 1, 0);
+  uint32_t next_want = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (num_shards_ > 1) {
+      next_want = (next_want + kGroupAlign - 1) / kGroupAlign * kGroupAlign;
+    }
+    shard_want_begin_[s] = next_want;
+    next_want += shard_plan_begin_[s + 1] - shard_plan_begin_[s];
+  }
+  shard_want_begin_[num_shards_] = next_want;
+  // Over-allocate so the working bases themselves sit on a cache-line
+  // boundary — slice padding alone can't help if the heap block starts
+  // mid-line.
+  auto align64 = [](std::vector<double>& v, size_t slots) {
+    v.resize(slots + 64 / sizeof(double));
+    auto addr = reinterpret_cast<uintptr_t>(v.data());
+    return reinterpret_cast<double*>((addr + 63) & ~uintptr_t{63});
+  };
+  want_base_ = align64(want_, next_want);
+  group_base_ = align64(group_demand_, next_group);
+
+  // Decay skip-lists: every energy reserve (battery excluded) is wired to its
+  // shard — its own component's, or round-robin for reserves no tap touches —
+  // and the currently decayable ones (non-empty, non-exempt) seed the lists.
+  // Capacity covers every assigned reserve so mid-epoch re-adds via
+  // OnReserveDecayable never allocate.
+  decay_active_.assign(num_shards_, {});
+  std::vector<uint32_t> assigned(num_shards_, 0);
+  uint32_t round_robin = 0;
+  const std::vector<ObjectId>& reserves = kernel_->ObjectsOfType(ObjectType::kReserve);
+  for (ObjectId id : reserves) {
+    Reserve* r = kernel_->LookupTyped<Reserve>(id);
+    if (id == battery_reserve_ || r->kind() != ResourceKind::kEnergy) {
+      if (r->decay_listener() == this) {
+        r->DetachDecayListener();
+      }
       continue;
     }
-    decay_plan_.push_back(kernel_->LookupTyped<Reserve>(id));
+    uint32_t s = 0;
+    if (sharding_ && num_shards_ > 1) {
+      s = partitioner_->ShardOfReserve(id);
+      if (s == ShardLayout::kNoShard) {
+        s = round_robin++ % num_shards_;  // Decay-only reserve: spread evenly.
+      }
+    }
+    r->AttachDecayListener(this, s);
+    r->set_in_decay_list(false);
+    ++assigned[s];
   }
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    decay_active_[s].reserve(assigned[s]);
+  }
+  for (ObjectId id : reserves) {
+    Reserve* r = kernel_->LookupTyped<Reserve>(id);
+    if (r->decay_listener() != this) {
+      continue;
+    }
+    if (!r->decay_exempt() && r->level() > 0) {
+      decay_active_[r->decay_shard()].push_back(r);
+      r->set_in_decay_list(true);
+    }
+  }
+
+  scratch_.assign(num_shards_, ShardScratch{});
+  stats_.assign(num_shards_, ShardStats{});
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    stats_[s].taps = shard_plan_begin_[s + 1] - shard_plan_begin_[s];
+    stats_[s].decay_reserves = assigned[s];
+  }
+
   battery_cache_ = kernel_->LookupTyped<Reserve>(battery_reserve_);
   plan_epoch_ = kernel_->mutation_epoch();
   plan_valid_ = true;
@@ -85,6 +239,46 @@ void TapEngine::RunBatch(Duration dt) {
   if (!PlanIsCurrent()) {
     RebuildPlan();
   }
+  // Publish the batch-wide constants, then run every shard — concurrently on
+  // the executor when one is attached, serially in plan order otherwise.
+  // Shards touch disjoint reserves/taps, so scheduling cannot change results.
+  batch_dt_s_ = dt.seconds_f();
+  // Leak fraction for this interval: 1 - 2^(-dt / half_life). The exp2 is
+  // only worth paying when decay will actually run.
+  decay_frac_ =
+      decay_.enabled ? 1.0 - std::exp2(-dt.seconds_f() / decay_.half_life.seconds_f()) : 0.0;
+  if (executor_ != nullptr && num_shards_ > 1) {
+    executor_->Run(this, num_shards_);
+  } else {
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      RunShard(s);
+    }
+  }
+  // Deterministic merge, in shard order: engine totals, per-shard stats, and
+  // the decay leakage each shard banked for the battery root. Deferring the
+  // battery deposits here is what keeps the battery's shard race-free — and
+  // it exactly matches the unsharded engine, where every tap reads the
+  // battery before the decay pass touches it.
+  Reserve* battery = battery_cache_;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const ShardScratch& sc = scratch_[s];
+    total_tap_flow_ += sc.tap_flow;
+    total_decay_flow_ += sc.decay_flow;
+    stats_[s].tap_flow += sc.tap_flow;
+    stats_[s].decay_flow += sc.decay_flow;
+    if (sc.decay_to_battery > 0 && battery != nullptr) {
+      battery->Deposit(sc.decay_to_battery);
+    }
+  }
+}
+
+void TapEngine::RunShard(uint32_t shard) {
+  scratch_[shard] = ShardScratch{};
+  const double dt_s = batch_dt_s_;
+  const uint32_t begin = shard_plan_begin_[shard];
+  const uint32_t end = shard_plan_begin_[shard + 1];
+  // Rebase so want[i] (plan index) lands in this shard's padded want_ slice.
+  double* const want_slot = want_base_ + shard_want_begin_[shard] - begin;
   // Two passes. Pass 1 computes each tap's demand for this batch; pass 2
   // executes transfers in id (creation) order, giving taps that contend for
   // the same constrained source a proportional share of whatever is
@@ -93,13 +287,12 @@ void TapEngine::RunBatch(Duration dt) {
   // oldest tap winning every batch). Deposits made by earlier taps in the
   // same batch are visible to later ones, so feed taps created before their
   // consumers pipeline within a single batch. Fully deterministic.
-  const double dt_s = dt.seconds_f();
-  std::fill(group_demand_.begin(), group_demand_.end(), 0.0);
-  const size_t n = plan_.size();
-  for (size_t i = 0; i < n; ++i) {
+  std::fill(group_base_ + shard_group_begin_[shard],
+            group_base_ + shard_group_begin_[shard + 1], 0.0);
+  for (uint32_t i = begin; i < end; ++i) {
     const PlanEntry& e = plan_[i];
     if (!e.tap->enabled()) {
-      want_[i] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
+      want_slot[i] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
       continue;
     }
     double want = e.tap->carry();
@@ -109,16 +302,17 @@ void TapEngine::RunBatch(Duration dt) {
       const Quantity level = e.src->level() > 0 ? e.src->level() : 0;
       want += static_cast<double>(level) * e.tap->fraction_per_sec() * dt_s;
     }
-    want_[i] = want;
-    group_demand_[e.group] += want;
+    want_slot[i] = want;
+    group_base_[e.group] += want;
   }
-  for (size_t i = 0; i < n; ++i) {
-    const double want = want_[i];
+  Quantity shard_flow = 0;
+  for (uint32_t i = begin; i < end; ++i) {
+    const double want = want_slot[i];
     if (want < 0.0) {
       continue;
     }
     const PlanEntry& e = plan_[i];
-    double& demand = group_demand_[e.group];
+    double& demand = group_base_[e.group];
     const double avail = e.src->level() > 0 ? static_cast<double>(e.src->level()) : 0.0;
     const double scale = (demand > avail && demand > 0.0) ? avail / demand : 1.0;
     const double granted = want * scale;
@@ -134,34 +328,49 @@ void TapEngine::RunBatch(Duration dt) {
     if (moved > 0) {
       e.dst->Deposit(moved);
       e.tap->AddTransferred(moved);
-      total_tap_flow_ += moved;
+      shard_flow += moved;
     }
   }
+  scratch_[shard].tap_flow = shard_flow;
   if (decay_.enabled) {
-    DecayReserves(dt);
+    DecayShard(shard);
   }
 }
 
-void TapEngine::DecayReserves(Duration dt) {
-  Reserve* battery = battery_cache_;
-  // Leak fraction for this interval: 1 - 2^(-dt / half_life).
-  const double frac = 1.0 - std::exp2(-dt.seconds_f() / decay_.half_life.seconds_f());
-  for (Reserve* r : decay_plan_) {
-    if (r->decay_exempt() || r->kind() != ResourceKind::kEnergy || r->level() <= 0) {
+void TapEngine::DecayShard(uint32_t shard) {
+  // Leak fraction for this interval: 1 - 2^(-dt / half_life). Only the
+  // skip-list members are visited; a member found empty or exempt is pruned
+  // (swap-erase — per-reserve decay is order-independent) and re-added by
+  // OnReserveDecayable when it becomes decayable again.
+  const double frac = decay_frac_;
+  std::vector<Reserve*>& active = decay_active_[shard];
+  Quantity shard_decay = 0;
+  for (size_t i = 0; i < active.size();) {
+    Reserve* r = active[i];
+    if (r->decay_exempt() || r->level() <= 0) {
+      r->set_in_decay_list(false);
+      active[i] = active.back();
+      active.pop_back();
       continue;
     }
     double want = r->decay_carry() + static_cast<double>(r->level()) * frac;
     auto whole = static_cast<Quantity>(want);
     r->set_decay_carry(want - static_cast<double>(whole));
-    if (whole <= 0) {
-      continue;
+    if (whole > 0) {
+      shard_decay += r->Withdraw(whole);
     }
-    const Quantity moved = r->Withdraw(whole);
-    if (moved > 0 && battery != nullptr) {
-      battery->Deposit(moved);
-    }
-    total_decay_flow_ += moved;
+    ++i;
   }
+  scratch_[shard].decay_flow = shard_decay;
+  scratch_[shard].decay_to_battery = shard_decay;
+}
+
+void TapEngine::OnReserveDecayable(Reserve* r) {
+  if (r->in_decay_list()) {
+    return;
+  }
+  r->set_in_decay_list(true);
+  decay_active_[r->decay_shard()].push_back(r);
 }
 
 std::vector<ObjectId> TapEngine::TapsFromSource(ObjectId reserve) const {

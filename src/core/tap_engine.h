@@ -8,17 +8,34 @@
 // deterministic. Transfers are integer; sub-unit remainders are carried per
 // tap / per reserve so low rates are exact in the long run, and global
 // conservation holds to the nanojoule.
+//
+// Sharded execution (src/exec): taps only touch the two reserves they
+// connect, so the connected components of the reserve/tap graph are
+// independent within a batch. With sharding enabled the cached flow plan is
+// laid out shard-major (per-shard contiguous sections of the same flat
+// arrays) and each shard runs its two tap passes plus its decay slice as one
+// work item — serially, or on a ShardExecutor worker pool. Cross-shard state
+// (flow totals, decay leakage into the battery root) is accumulated per shard
+// and merged after the batch in shard order, so results are bit-identical to
+// the unsharded engine regardless of worker count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/base/units.h"
 #include "src/core/reserve.h"
 #include "src/core/tap.h"
+#include "src/exec/shard_task.h"
 #include "src/histar/kernel.h"
 
 namespace cinder {
+
+// Full definitions live in src/exec; the engine's header only needs the
+// dependency-free ShardTask interface.
+class ShardExecutor;
+class ShardPartitioner;
 
 struct DecayConfig {
   bool enabled = true;
@@ -26,7 +43,7 @@ struct DecayConfig {
   Duration half_life = Duration::Minutes(10);
 };
 
-class TapEngine : public KernelObserver {
+class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayListener {
  public:
   // `battery_reserve` is the root reserve decay leaks back into.
   TapEngine(Kernel* kernel, ObjectId battery_reserve);
@@ -48,6 +65,28 @@ class TapEngine : public KernelObserver {
   // then decay leaks every non-exempt reserve toward the battery.
   void RunBatch(Duration dt);
 
+  // -- Sharded execution --------------------------------------------------------
+  // Partitions the flow plan into independent per-component shards and runs
+  // each shard's batch as one work item on `executor` (serially in the
+  // calling thread when null). Flows stay bit-identical to the unsharded
+  // engine for any worker count. The engine does not own the executor; it
+  // must outlive sharded batches.
+  void EnableSharding(ShardExecutor* executor);
+  void DisableSharding();
+  bool sharding_enabled() const { return sharding_; }
+  // Shards in the current plan (1 when sharding is disabled). Valid after a
+  // plan build, i.e. after any batch.
+  uint32_t shard_count() const { return num_shards_; }
+
+  // Per-shard accounting since the last plan rebuild (sharded mode).
+  struct ShardStats {
+    uint32_t taps = 0;            // Plan entries in the shard.
+    uint32_t decay_reserves = 0;  // Energy reserves whose decay runs here.
+    Quantity tap_flow = 0;
+    Quantity decay_flow = 0;
+  };
+  const std::vector<ShardStats>& shard_stats() const { return stats_; }
+
   // Registered taps whose source is `reserve`, in id order. Used by
   // ReserveClone / strict transfers to find backward (drain) taps.
   std::vector<ObjectId> TapsFromSource(ObjectId reserve) const;
@@ -59,11 +98,20 @@ class TapEngine : public KernelObserver {
   // KernelObserver: drop deleted taps from the registry.
   void OnObjectDeleted(ObjectId id, ObjectType type) override;
 
+  // ShardTask (executor-facing): runs one shard's tap passes + decay slice.
+  void RunShard(uint32_t shard) override;
+
+  // ReserveDecayListener: a reserve became non-empty (or lost its exemption)
+  // mid-epoch; put it back on its shard's decay skip-list. Safe from worker
+  // threads because a reserve is only deposited into by its own shard.
+  void OnReserveDecayable(Reserve* r) override;
+
  private:
   // One registered tap with everything the batch loop needs pre-resolved:
   // endpoint pointers and the label check, both valid while the kernel's
   // mutation epoch is unchanged. `group` indexes the per-source demand
-  // scratch slot shared by all taps draining the same reserve.
+  // scratch slot shared by all taps draining the same reserve; group slots
+  // are contiguous per shard.
   struct PlanEntry {
     Tap* tap;
     Reserve* src;
@@ -71,11 +119,19 @@ class TapEngine : public KernelObserver {
     uint32_t group;
   };
 
+  // Per-shard batch accumulators, merged (in shard order) after the parallel
+  // phase. Cache-line sized so concurrent shards never false-share.
+  struct alignas(64) ShardScratch {
+    Quantity tap_flow = 0;
+    Quantity decay_flow = 0;
+    Quantity decay_to_battery = 0;
+  };
+
   bool PlanIsCurrent() const {
     return plan_valid_ && plan_epoch_ == kernel_->mutation_epoch();
   }
   void RebuildPlan();
-  void DecayReserves(Duration dt);
+  void DecayShard(uint32_t shard);
 
   Kernel* kernel_;
   ObjectId battery_reserve_;
@@ -83,14 +139,49 @@ class TapEngine : public KernelObserver {
   std::vector<ObjectId> taps_;  // Creation order == id order.
 
   // Cached flow plan + reusable scratch, so steady-state RunBatch is a tight
-  // loop over flat arrays with zero heap allocation.
+  // loop over flat arrays with zero heap allocation. Entries are laid out
+  // shard-major, tap-id order within a shard (one shard holds everything when
+  // sharding is off); shard s owns plan_[shard_plan_begin_[s] ..
+  // shard_plan_begin_[s+1]) and group_demand_[shard_group_begin_[s] ..
+  // shard_group_begin_[s+1]).
   std::vector<PlanEntry> plan_;
-  std::vector<Reserve*> decay_plan_;   // Non-battery reserves, id order.
-  std::vector<double> want_;           // Per plan entry; -1 marks "skip".
-  std::vector<double> group_demand_;   // Per distinct source reserve.
+  // Pass-1 scratch, one slot per plan entry (-1 marks "skip"). Indexed
+  // through want_base_ + shard_want_begin_, not the plan index: per-shard
+  // slices are padded to cache-line boundaries so concurrent shards never
+  // write the same line (the plan array itself stays dense).
+  std::vector<double> want_;
+  double* want_base_ = nullptr;
+  std::vector<uint32_t> shard_want_begin_;
+  // Per distinct source reserve, indexed through group_base_: the vector is
+  // over-allocated so group_base_ can start on a cache-line boundary, which
+  // (with the per-shard slice padding in RebuildPlan) gives each shard
+  // exclusive ownership of its demand lines.
+  std::vector<double> group_demand_;
+  double* group_base_ = nullptr;
+  std::vector<uint32_t> shard_plan_begin_;
+  std::vector<uint32_t> shard_group_begin_;
+  // Decay skip-list, one per shard: the non-empty, non-exempt energy reserves
+  // whose decay this shard runs. Lazily pruned when a member is drained or
+  // exempted; refilled through OnReserveDecayable. Capacity is reserved for
+  // every assigned reserve at rebuild, so mid-epoch re-adds never allocate.
+  std::vector<std::vector<Reserve*>> decay_active_;
+  std::vector<ShardScratch> scratch_;
+  std::vector<ShardStats> stats_;
   Reserve* battery_cache_ = nullptr;
   uint64_t plan_epoch_ = 0;
   bool plan_valid_ = false;
+
+  bool sharding_ = false;
+  ShardExecutor* executor_ = nullptr;
+  std::unique_ptr<ShardPartitioner> partitioner_;  // Created on EnableSharding.
+  uint32_t num_shards_ = 1;
+  // Batch-wide constants published before the (possibly parallel) shard runs.
+  double batch_dt_s_ = 0.0;
+  double decay_frac_ = 0.0;
+
+  // Rebuild-only scratch (kept to reuse capacity across rebuilds).
+  std::vector<PlanEntry> sorted_plan_;
+  std::vector<uint32_t> entry_shard_;
 
   Quantity total_tap_flow_ = 0;
   Quantity total_decay_flow_ = 0;

@@ -1,0 +1,101 @@
+#include "src/exec/shard_executor.h"
+
+namespace cinder {
+
+ShardExecutor::ShardExecutor(int workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (int i = 0; i < workers_ - 1; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, uint64_t generation) {
+  // The ticket packs (generation << 32 | next_shard). Claiming via CAS (not
+  // fetch_add) keeps a straggler from a finished batch from blindly consuming
+  // a shard index that already belongs to the next batch: a stale generation
+  // tag makes it back off without touching the counter.
+  const uint64_t gen_tag = generation << 32;
+  uint64_t t = ticket_.load(std::memory_order_relaxed);
+  while (true) {
+    if ((t & ~uint64_t{0xffffffff}) != gen_tag) {
+      return;  // A newer batch owns the ticket.
+    }
+    const auto s = static_cast<uint32_t>(t);
+    if (s >= n_shards) {
+      return;  // All shards handed out.
+    }
+    if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_relaxed)) {
+      continue;  // Lost the claim; t was reloaded.
+    }
+    task->RunShard(s);
+    // acq_rel so the waiter's acquire load of done_shards_ orders every
+    // shard's writes before the caller's merge step.
+    if (done_shards_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+    t = ticket_.load(std::memory_order_relaxed);
+  }
+}
+
+void ShardExecutor::WorkerMain() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    ShardTask* task;
+    uint32_t n_shards;
+    uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      // Read the batch under the lock: even a worker that slept through a
+      // whole batch always acts on the current one, never a stale one.
+      seen_generation = generation_;
+      generation = generation_;
+      task = task_;
+      n_shards = n_shards_;
+    }
+    DrainShards(task, n_shards, generation);
+  }
+}
+
+void ShardExecutor::Run(ShardTask* task, uint32_t n_shards) {
+  if (n_shards == 0) {
+    return;
+  }
+  if (threads_.empty() || n_shards == 1) {
+    for (uint32_t s = 0; s < n_shards; ++s) {
+      task->RunShard(s);
+    }
+    return;
+  }
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = task;
+    n_shards_ = n_shards;
+    generation = ++generation_;
+    done_shards_.store(0, std::memory_order_relaxed);
+    ticket_.store(generation << 32, std::memory_order_relaxed);
+  }
+  cv_start_.notify_all();
+  // The caller is worker zero.
+  DrainShards(task, n_shards, generation);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_shards_.load(std::memory_order_acquire) == n_shards; });
+}
+
+}  // namespace cinder

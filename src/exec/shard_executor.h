@@ -1,0 +1,60 @@
+// A fixed worker pool that runs per-shard work items.
+//
+// The pool exists so the tap engine can execute independent shards
+// concurrently without per-batch thread spawns or heap allocation: workers
+// are parked on a condition variable between batches and pull shard indices
+// from an atomic counter during one. `workers` is the total concurrency —
+// the calling thread participates, so ShardExecutor(4) spawns three pool
+// threads and ShardExecutor(1) (or 0) runs everything serially in the caller
+// with no threads at all.
+//
+// Determinism does not depend on the worker count: callers hand the pool
+// shards that touch disjoint state and do any cross-shard merging themselves,
+// after Run returns, in shard order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/exec/shard_task.h"
+
+namespace cinder {
+
+class ShardExecutor {
+ public:
+  explicit ShardExecutor(int workers = 1);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  int workers() const { return workers_; }
+
+  // Runs task->RunShard(s) for every s in [0, n_shards) and blocks until all
+  // have finished. Not reentrant: one Run at a time, from one thread.
+  void Run(ShardTask* task, uint32_t n_shards);
+
+ private:
+  void WorkerMain();
+  void DrainShards(ShardTask* task, uint32_t n_shards, uint64_t generation);
+
+  const int workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  ShardTask* task_ = nullptr;
+  uint32_t n_shards_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  // (generation << 32) | next_shard_index — see DrainShards.
+  std::atomic<uint64_t> ticket_{0};
+  std::atomic<uint32_t> done_shards_{0};
+};
+
+}  // namespace cinder

@@ -1,0 +1,20 @@
+// The per-shard work interface, split into its own dependency-free header so
+// producers of shard work (the tap engine in src/core) can implement it
+// without pulling the executor's <thread>/<condition_variable> machinery
+// into their own headers. The dependency arrow for the heavy half stays
+// exec -> core: only ShardExecutor's implementation knows about threads.
+#pragma once
+
+#include <cstdint>
+
+namespace cinder {
+
+// One batch's worth of shardable work. RunShard(s) must touch only state
+// owned by shard `s`; it is called at most once per shard per Run.
+class ShardTask {
+ public:
+  virtual ~ShardTask() = default;
+  virtual void RunShard(uint32_t shard) = 0;
+};
+
+}  // namespace cinder

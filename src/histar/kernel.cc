@@ -18,6 +18,11 @@ Kernel::~Kernel() = default;
 
 void Kernel::InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj) {
   obj->AttachMutationEpoch(&mutation_epoch_);
+  // Only reserves and taps shape the connectivity graph (tap endpoints are
+  // immutable ids); thread/container churn must not invalidate partitions.
+  if (obj->type() == ObjectType::kReserve || obj->type() == ObjectType::kTap) {
+    ++topology_epoch_;
+  }
   by_type_[static_cast<size_t>(obj->type())].push_back(id);
   uint32_t slot;
   if (!free_slots_.empty()) {
@@ -37,7 +42,11 @@ void Kernel::InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj) {
 
 void Kernel::EraseObject(ObjectId id) {
   const uint32_t slot = id_to_slot_[id];
-  auto& index = by_type_[static_cast<size_t>(slots_[slot]->type())];
+  const ObjectType type = slots_[slot]->type();
+  if (type == ObjectType::kReserve || type == ObjectType::kTap) {
+    ++topology_epoch_;
+  }
+  auto& index = by_type_[static_cast<size_t>(type)];
   auto it = std::lower_bound(index.begin(), index.end(), id);
   if (it != index.end() && *it == id) {
     index.erase(it);
@@ -117,6 +126,8 @@ Status Kernel::Move(ObjectId id, ObjectId new_parent) {
   }
   np->AddChild(id);
   obj->set_parent(new_parent);
+  // No topology bump: reparenting moves an object in the container tree but
+  // tap endpoints are ids, so reserve/tap connectivity is unchanged.
   ++mutation_epoch_;
   return Status::kOk;
 }

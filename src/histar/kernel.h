@@ -118,6 +118,14 @@ class Kernel {
   // run queues) are valid exactly while the epoch is unchanged.
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
+  // Bumped only on reserve/tap create/delete — the sole mutations that can
+  // change the reserve/tap connectivity graph (tap endpoints are immutable
+  // ids, so Move cannot). Label changes, credential changes, and
+  // thread/container churn bump the mutation epoch (what may flow) but not
+  // this one (what is connected), so the shard partitioner's union-find
+  // survives them all.
+  uint64_t topology_epoch() const { return topology_epoch_; }
+
   // -- Labels & privileges -----------------------------------------------------
   CategoryAllocator& categories() { return categories_; }
 
@@ -184,6 +192,7 @@ class Kernel {
   // are monotonic; binary-search erase on delete).
   std::array<std::vector<ObjectId>, kNumTypes> by_type_;
   uint64_t mutation_epoch_ = 0;
+  uint64_t topology_epoch_ = 0;
 
   ObjectId next_id_ = 1;
   ObjectId root_id_ = kInvalidObjectId;

@@ -21,6 +21,10 @@ Simulator::Simulator(SimConfig config)
   tap_engine_ = std::make_unique<TapEngine>(&kernel_, battery_reserve_);
   tap_engine_->decay().enabled = config_.decay_enabled;
   tap_engine_->decay().half_life = config_.decay_half_life;
+  if (config_.tap_workers >= 1) {
+    shard_executor_ = std::make_unique<ShardExecutor>(config_.tap_workers);
+    tap_engine_->EnableSharding(shard_executor_.get());
+  }
   scheduler_ = std::make_unique<EnergyAwareScheduler>(&kernel_);
 
   // The boot thread: a convenience principal for setup syscalls. It draws

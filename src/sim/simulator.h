@@ -26,6 +26,7 @@
 #include "src/energy/meter.h"
 #include "src/energy/power_model.h"
 #include "src/energy/probe.h"
+#include "src/exec/shard_executor.h"
 #include "src/histar/kernel.h"
 #include "src/sim/radio_device.h"
 #include "src/sim/thread_body.h"
@@ -41,6 +42,12 @@ struct SimConfig {
   bool decay_enabled = true;
   Duration decay_half_life = Duration::Minutes(10);
   Duration probe_interval = Duration::Millis(200);
+  // Tap-batch execution: 0 leaves the engine unsharded (the single-device
+  // default); >= 1 partitions the reserve/tap graph into independent shards
+  // and runs batches on that many workers (1 = sharded but serial). Results
+  // are bit-identical either way; sharding pays off for fleet scenarios with
+  // many disconnected devices.
+  int tap_workers = 0;
 };
 
 class Simulator final : public PowerSource {
@@ -55,6 +62,8 @@ class Simulator final : public PowerSource {
   const SimConfig& config() const { return config_; }
   Kernel& kernel() { return kernel_; }
   TapEngine& taps() { return *tap_engine_; }
+  // Null unless config.tap_workers >= 1.
+  ShardExecutor* shard_executor() { return shard_executor_.get(); }
   EnergyAwareScheduler& scheduler() { return *scheduler_; }
   EnergyMeter& meter() { return meter_; }
   Battery& battery() { return battery_; }
@@ -138,6 +147,9 @@ class Simulator final : public PowerSource {
   Rng rng_;
   RadioDevice radio_;
   PowerSupplyProbe probe_;
+  // Declared before the tap engine: the engine holds a raw pointer to the
+  // executor, so the engine must be destroyed first (reverse member order).
+  std::unique_ptr<ShardExecutor> shard_executor_;
   std::unique_ptr<TapEngine> tap_engine_;
   std::unique_ptr<EnergyAwareScheduler> scheduler_;
 

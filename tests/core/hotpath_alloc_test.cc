@@ -5,17 +5,20 @@
 // operator new/delete to count allocations.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 #include "src/core/tap_engine.h"
+#include "src/exec/shard_executor.h"
 
 namespace {
-unsigned long long g_allocations = 0;
+// Atomic: sharded batches allocate (or rather, must not) from worker threads.
+std::atomic<unsigned long long> g_allocations{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
-  ++g_allocations;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) {
     throw std::bad_alloc();
@@ -61,11 +64,92 @@ TEST(HotPathAllocTest, SteadyStateBatchAndDecayAreAllocationFree) {
 
   // First batch builds the plan (allocates); from then on: zero.
   engine.RunBatch(Duration::Millis(10));
-  const unsigned long long before = g_allocations;
+  const unsigned long long before = g_allocations.load();
   for (int i = 0; i < 1000; ++i) {
     engine.RunBatch(Duration::Millis(10));
   }
-  EXPECT_EQ(g_allocations, before);
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_GT(engine.total_tap_flow(), 0);
+  EXPECT_GT(engine.total_decay_flow(), 0);
+}
+
+TEST(HotPathAllocTest, DecaySkipListChurnIsAllocationFree) {
+  // Reserves that drain to empty and refill mid-epoch bounce on and off the
+  // decay skip-list through the listener hook; the list capacity is reserved
+  // at plan build, so the churn must never reallocate.
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = true;
+  engine.decay().half_life = Duration::Seconds(1);
+  std::vector<Reserve*> reserves;
+  for (int i = 0; i < 64; ++i) {
+    Reserve* r = k.Create<Reserve>(
+        k.root_container_id(), Label(Level::k1), "r");
+    r->Deposit(1000000);
+    reserves.push_back(r);
+  }
+  engine.RunBatch(Duration::Millis(10));
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 500; ++i) {
+    // Drain half the reserves to zero, run (prunes them), refill (re-adds).
+    for (size_t j = i % 2; j < reserves.size(); j += 2) {
+      reserves[j]->Withdraw(reserves[j]->level());
+    }
+    engine.RunBatch(Duration::Millis(10));
+    for (size_t j = i % 2; j < reserves.size(); j += 2) {
+      reserves[j]->Deposit(1000000);
+    }
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_GT(engine.total_decay_flow(), 0);
+}
+
+TEST(HotPathAllocTest, ShardedSteadyStateIsAllocationFree) {
+  // Sharded batches on a real worker pool: after the first batch builds the
+  // sharded plan (and the pool's threads exist), steady state allocates
+  // nothing — on the calling thread or the workers.
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  ShardExecutor exec(2);
+  TapEngine engine(&k, battery->id());
+  engine.EnableSharding(&exec);
+  engine.decay().enabled = true;
+  for (int c = 0; c < 8; ++c) {
+    Reserve* pool = k.Create<Reserve>(
+        k.root_container_id(), Label(Level::k1), "pool");
+    pool->Deposit(INT64_MAX / 16);
+    for (int i = 0; i < 8; ++i) {
+      Reserve* r = k.Create<Reserve>(
+          k.root_container_id(), Label(Level::k1), "r");
+      Tap* tap = k.Create<Tap>(k.root_container_id(),
+                                               Label(Level::k1), "t",
+                                               pool->id(), r->id());
+      if (i % 2 == 0) {
+        tap->SetConstantPower(Power::Milliwatts(1));
+      } else {
+        tap->SetProportionalRate(0.01);
+      }
+      ASSERT_TRUE(engine.Register(tap->id()));
+    }
+  }
+  // Warm up: plan build plus a few pooled batches (first wake of a worker
+  // thread may lazily allocate inside the runtime).
+  for (int i = 0; i < 10; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  ASSERT_EQ(engine.shard_count(), 8u);
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
   EXPECT_GT(engine.total_tap_flow(), 0);
   EXPECT_GT(engine.total_decay_flow(), 0);
 }
@@ -73,12 +157,12 @@ TEST(HotPathAllocTest, SteadyStateBatchAndDecayAreAllocationFree) {
 TEST(HotPathAllocTest, KernelLookupAndObjectsOfTypeAreAllocationFree) {
   Kernel k;
   Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
-  const unsigned long long before = g_allocations;
+  const unsigned long long before = g_allocations.load();
   for (int i = 0; i < 1000; ++i) {
     ASSERT_NE(k.Lookup(r->id()), nullptr);
     ASSERT_EQ(k.ObjectsOfType(ObjectType::kReserve).size(), 1u);
   }
-  EXPECT_EQ(g_allocations, before);
+  EXPECT_EQ(g_allocations.load(), before);
 }
 
 }  // namespace

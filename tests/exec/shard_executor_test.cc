@@ -1,0 +1,86 @@
+#include "src/exec/shard_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace cinder {
+namespace {
+
+// Counts how many times each shard index ran.
+class CountingTask : public ShardTask {
+ public:
+  explicit CountingTask(uint32_t n) : counts_(n) {}
+  void RunShard(uint32_t shard) override {
+    counts_[shard].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint32_t count(uint32_t s) const { return counts_[s].load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::atomic<uint32_t>> counts_;
+};
+
+TEST(ShardExecutorTest, RunsEveryShardExactlyOnce) {
+  ShardExecutor exec(4);
+  CountingTask task(37);
+  exec.Run(&task, 37);
+  for (uint32_t s = 0; s < 37; ++s) {
+    EXPECT_EQ(task.count(s), 1u) << "shard " << s;
+  }
+}
+
+TEST(ShardExecutorTest, SingleWorkerRunsSeriallyInCaller) {
+  ShardExecutor exec(1);
+  EXPECT_EQ(exec.workers(), 1);
+  CountingTask task(8);
+  exec.Run(&task, 8);
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(task.count(s), 1u);
+  }
+}
+
+TEST(ShardExecutorTest, ZeroShardsIsANoOp) {
+  ShardExecutor exec(4);
+  CountingTask task(1);
+  exec.Run(&task, 0);
+  EXPECT_EQ(task.count(0), 0u);
+}
+
+TEST(ShardExecutorTest, NonPositiveWorkerCountClampsToOne) {
+  ShardExecutor exec(0);
+  EXPECT_EQ(exec.workers(), 1);
+  CountingTask task(3);
+  exec.Run(&task, 3);
+  EXPECT_EQ(task.count(2), 1u);
+}
+
+TEST(ShardExecutorTest, RepeatedRunsDoNotLeakWorkAcrossBatches) {
+  // Back-to-back batches exercise the generation-tagged ticket: a straggler
+  // from batch k must never consume a shard of batch k+1.
+  ShardExecutor exec(4);
+  CountingTask task(8);
+  const int kBatches = 2000;
+  for (int i = 0; i < kBatches; ++i) {
+    exec.Run(&task, 8);
+  }
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(task.count(s), static_cast<uint32_t>(kBatches)) << "shard " << s;
+  }
+}
+
+TEST(ShardExecutorTest, MoreShardsThanWorkersAndViceVersa) {
+  ShardExecutor exec(8);
+  CountingTask wide(64);
+  exec.Run(&wide, 64);
+  for (uint32_t s = 0; s < 64; ++s) {
+    EXPECT_EQ(wide.count(s), 1u);
+  }
+  CountingTask narrow(2);
+  exec.Run(&narrow, 2);
+  EXPECT_EQ(narrow.count(0), 1u);
+  EXPECT_EQ(narrow.count(1), 1u);
+}
+
+}  // namespace
+}  // namespace cinder
