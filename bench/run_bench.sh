@@ -8,8 +8,9 @@
 #   bench/run_bench.sh --compare BASELINE.json [build_dir] [benchmark_filter]
 #
 # --compare mode additionally diffs the fresh results against BASELINE.json
-# (bench/compare_bench.py) and exits non-zero if the gated benchmark
-# (BM_TapBatch/512) regressed by more than 20% — the cross-PR CI gate.
+# (bench/compare_bench.py) and exits non-zero if any gated benchmark
+# (BM_TapBatch/512, BM_TapBatch/32768, BM_DecaySparse/{4096,32768}) regressed
+# by more than 20% — the cross-PR CI gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -54,6 +55,9 @@ if [[ -n "$baseline" ]]; then
     --baseline "$baseline" \
     --current "$repo_root/BENCH_micro.json" \
     --gate 'BM_TapBatch/512' \
+    --gate 'BM_TapBatch/32768' \
+    --gate 'BM_DecaySparse/4096' \
+    --gate 'BM_DecaySparse/32768' \
     --max-regression 0.20 \
     "${warn_flag[@]}"
 fi

@@ -7,7 +7,9 @@
 // Each phone gets a budget pool (seeded once, decaying like any hoard), a
 // foreground app fed at a constant rate, a background app on a proportional
 // tap, and a backward tap returning unused foreground energy — a miniature
-// of the paper's Figure 6 configuration, times N.
+// of the paper's Figure 6 configuration, times N. Decay leakage goes back to
+// each phone's own pool (SimConfig.decay_to_shard_root) instead of the global
+// battery: one phone's hoarding never subsidizes another.
 //
 // Build & run:  ./build/example_fleet [phones] [workers] [sim_seconds]
 #include <chrono>
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   cfg.decay_half_life = Duration::Minutes(2);  // Visible decay in a short run.
   cfg.tap_workers = workers;
+  cfg.decay_to_shard_root = true;  // Leakage returns to each phone's pool.
   Simulator sim(cfg);
   for (int p = 0; p < phones; ++p) {
     BuildPhone(sim, p);

@@ -10,11 +10,20 @@
 // packets whose cost is only known after the energy was spent (paper
 // section 5.5.2 — "threads can debit their own reserves up to or into debt").
 // A reserve in debt counts as empty for scheduling.
+//
+// Hot-state bank: while a tap-engine flow plan is live, the mutable hot state
+// (level, deposited total, decay carry, decay flags) lives in the engine's
+// ReserveStateBank — shard-major flat arrays the batch loops walk without
+// touching this object. The public API is unchanged: every accessor reads and
+// writes through the bank slot while attached (`bank_` non-null), and the
+// engine writes the state back on plan invalidation, so cold-path callers
+// observe identical semantics whether or not a plan is live.
 #pragma once
 
 #include "src/base/status.h"
 #include "src/base/units.h"
 #include "src/core/resource.h"
+#include "src/core/state_bank.h"
 #include "src/histar/object.h"
 
 namespace cinder {
@@ -41,9 +50,9 @@ class Reserve final : public KernelObject {
 
   ResourceKind kind() const { return kind_; }
 
-  Quantity level() const { return level_; }
-  bool IsEmpty() const { return level_ <= 0; }
-  Energy energy() const { return ToEnergy(level_); }
+  Quantity level() const { return bank_ != nullptr ? bank_->level(bank_slot_) : level_; }
+  bool IsEmpty() const { return level() <= 0; }
+  Energy energy() const { return ToEnergy(level()); }
 
   bool allow_debt() const { return allow_debt_; }
   void set_allow_debt(bool v) { allow_debt_ = v; }
@@ -54,7 +63,10 @@ class Reserve final : public KernelObject {
   bool decay_exempt() const { return decay_exempt_; }
   void set_decay_exempt(bool v) {
     decay_exempt_ = v;
-    if (!v && level_ > 0 && decay_listener_ != nullptr) {
+    if (bank_ != nullptr) {
+      bank_->set_flag(bank_slot_, ReserveStateBank::kDecayExempt, v);
+    }
+    if (!v && level() > 0 && decay_listener_ != nullptr) {
       decay_listener_->OnReserveDecayable(this);
     }
   }
@@ -67,10 +79,11 @@ class Reserve final : public KernelObject {
     if (amount < 0) {
       return Status::kErrInvalidArg;
     }
-    if (level_ < amount && !allow_debt_) {
+    const Quantity lvl = level();
+    if (lvl < amount && !allow_debt_) {
       return Status::kErrNoResource;
     }
-    level_ -= amount;
+    set_level(lvl - amount);
     consumed_ += amount;
     return Status::kOk;
   }
@@ -79,31 +92,34 @@ class Reserve final : public KernelObject {
   // Used by the scheduler to drain a reserve exactly to zero on the final
   // quantum rather than denying it.
   Quantity ConsumeUpTo(Quantity amount) {
-    Quantity take = level_ < amount ? level_ : amount;
+    const Quantity lvl = level();
+    Quantity take = lvl < amount ? lvl : amount;
     if (take < 0) {
       take = 0;
     }
-    level_ -= take;
+    set_level(lvl - take);
     consumed_ += take;
     return take;
   }
 
   void Deposit(Quantity amount) {
-    const bool was_empty = level_ <= 0;
-    level_ += amount;
-    deposited_ += amount;
-    if (was_empty && level_ > 0 && decay_listener_ != nullptr) {
+    const Quantity lvl = level();
+    const bool was_empty = lvl <= 0;
+    set_level(lvl + amount);
+    add_deposited(amount);
+    if (was_empty && level() > 0 && decay_listener_ != nullptr) {
       decay_listener_->OnReserveDecayable(this);
     }
   }
 
   // Removes up to `amount` for transfer to another reserve (never below 0).
   Quantity Withdraw(Quantity amount) {
-    Quantity take = level_ < amount ? level_ : amount;
+    const Quantity lvl = level();
+    Quantity take = lvl < amount ? lvl : amount;
     if (take < 0) {
       take = 0;
     }
-    level_ -= take;
+    set_level(lvl - take);
     return take;
   }
 
@@ -112,18 +128,59 @@ class Reserve final : public KernelObject {
 
   // -- Accounting ---------------------------------------------------------------
   Quantity total_consumed() const { return consumed_; }
-  Quantity total_deposited() const { return deposited_; }
+  Quantity total_deposited() const {
+    return bank_ != nullptr ? bank_->deposited_total(bank_slot_) : deposited_;
+  }
   Energy energy_consumed() const { return ToEnergy(consumed_); }
 
-  // Sub-unit decay remainder (TapEngine only), kept on the reserve itself so
-  // the decay pass needs no side table and dies with the object.
-  double decay_carry() const { return decay_carry_; }
-  void set_decay_carry(double c) { decay_carry_ = c; }
+  // Sub-unit decay remainder (TapEngine only); lives in the bank while a plan
+  // is live, on the reserve otherwise, so the decay pass needs no side table
+  // and the value dies with the object.
+  double decay_carry() const { return bank_ != nullptr ? bank_->carry(bank_slot_) : decay_carry_; }
+  void set_decay_carry(double c) {
+    if (bank_ != nullptr) {
+      bank_->set_carry(bank_slot_, c);
+    } else {
+      decay_carry_ = c;
+    }
+  }
+
+  // -- State-bank attachment (TapEngine only) -----------------------------------
+  // Snapshot this reserve's hot state into `bank` slot `slot`; from then on
+  // the bank is the live copy and every accessor above goes through it. An
+  // attach while already attached (a second engine on the same kernel) first
+  // writes back through the old bank so no state is lost.
+  void AttachBank(ReserveStateBank* bank, uint32_t slot, ObjectHandle self) {
+    DetachBank();
+    bank_ = bank;
+    bank_slot_ = slot;
+    bank->set_level(slot, level_);
+    bank->set_deposited_total(slot, deposited_);
+    bank->set_carry(slot, decay_carry_);
+    bank->set_flag(slot, ReserveStateBank::kDecayExempt, decay_exempt_);
+    bank->set_flag(slot, ReserveStateBank::kInDecayList, in_decay_list_);
+    bank->set_handle(slot, self);
+  }
+  // Write the bank state back onto the object and detach.
+  void DetachBank() {
+    if (bank_ == nullptr) {
+      return;
+    }
+    level_ = bank_->level(bank_slot_);
+    deposited_ = bank_->deposited_total(bank_slot_);
+    decay_carry_ = bank_->carry(bank_slot_);
+    in_decay_list_ = bank_->flag(bank_slot_, ReserveStateBank::kInDecayList);
+    bank_ = nullptr;
+    bank_slot_ = kNoBankSlot;
+  }
+  bool bank_attached() const { return bank_ != nullptr; }
+  const ReserveStateBank* bank() const { return bank_; }
+  uint32_t bank_slot() const { return bank_slot_; }
 
   // -- Decay skip-list wiring (TapEngine only) ----------------------------------
-  // Like decay_carry, the skip-list bookkeeping lives on the reserve itself:
-  // the listener pointer, the shard whose decay list this reserve belongs to,
-  // and a membership flag so re-adds are O(1) and duplicate-free. All three
+  // The listener pointer and the shard whose decay list this reserve belongs
+  // to stay on the object (they are cold); the membership flag lives in the
+  // bank while attached so the decay pass can prune through flat arrays. All
   // are reassigned whenever the engine rebuilds its plan.
   void AttachDecayListener(ReserveDecayListener* l, uint32_t shard) {
     decay_listener_ = l;
@@ -132,15 +189,41 @@ class Reserve final : public KernelObject {
   void DetachDecayListener() { decay_listener_ = nullptr; }
   ReserveDecayListener* decay_listener() const { return decay_listener_; }
   uint32_t decay_shard() const { return decay_shard_; }
-  bool in_decay_list() const { return in_decay_list_; }
-  void set_in_decay_list(bool v) { in_decay_list_ = v; }
+  bool in_decay_list() const {
+    return bank_ != nullptr ? bank_->flag(bank_slot_, ReserveStateBank::kInDecayList)
+                            : in_decay_list_;
+  }
+  void set_in_decay_list(bool v) {
+    if (bank_ != nullptr) {
+      bank_->set_flag(bank_slot_, ReserveStateBank::kInDecayList, v);
+    } else {
+      in_decay_list_ = v;
+    }
+  }
 
  private:
+  void set_level(Quantity v) {
+    if (bank_ != nullptr) {
+      bank_->set_level(bank_slot_, v);
+    } else {
+      level_ = v;
+    }
+  }
+  void add_deposited(Quantity v) {
+    if (bank_ != nullptr) {
+      bank_->set_deposited_total(bank_slot_, bank_->deposited_total(bank_slot_) + v);
+    } else {
+      deposited_ += v;
+    }
+  }
+
   ResourceKind kind_;
   Quantity level_ = 0;
   Quantity consumed_ = 0;
   Quantity deposited_ = 0;
   double decay_carry_ = 0.0;
+  ReserveStateBank* bank_ = nullptr;
+  uint32_t bank_slot_ = kNoBankSlot;
   ReserveDecayListener* decay_listener_ = nullptr;
   uint32_t decay_shard_ = 0;
   bool in_decay_list_ = false;

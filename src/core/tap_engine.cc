@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <unordered_map>
 
 #include "src/base/log.h"
@@ -16,9 +17,11 @@ TapEngine::TapEngine(Kernel* kernel, ObjectId battery_reserve)
 }
 
 TapEngine::~TapEngine() {
-  // Reserves outlive the engine in every embedding (the kernel owns them);
-  // clear the decay-listener back-pointers so later deposits don't call into
-  // a dead engine.
+  // Reserves and taps outlive the engine in every embedding (the kernel owns
+  // them): return the bank state to the objects, then clear the
+  // decay-listener back-pointers so later deposits don't call into a dead
+  // engine.
+  WriteBackBank();
   for (ObjectId id : kernel_->ObjectsOfType(ObjectType::kReserve)) {
     Reserve* r = kernel_->LookupTyped<Reserve>(id);
     if (r != nullptr && r->decay_listener() == this) {
@@ -67,8 +70,40 @@ void TapEngine::DisableSharding() {
   plan_valid_ = false;
 }
 
+void TapEngine::WriteBackBank() {
+  // Generation-tagged handles make this exact under churn: a slab slot
+  // recycled since the snapshot fails the generation check, so a dead
+  // reserve's state can never be written into the slot's new tenant. The
+  // bank-identity check keeps a second engine's attachments untouched.
+  for (uint32_t slot = 0; slot < rbank_.size(); ++slot) {
+    const ObjectHandle h = rbank_.handle(slot);
+    if (!h.valid()) {
+      continue;  // Padding slot, or never attached.
+    }
+    Reserve* r = kernel_->LookupTyped<Reserve>(h);
+    if (r != nullptr && r->bank() == &rbank_ && r->bank_slot() == slot) {
+      r->DetachBank();
+    }
+  }
+  for (uint32_t slot = 0; slot < tbank_.size(); ++slot) {
+    const ObjectHandle h = tbank_.handle(slot);
+    if (!h.valid()) {
+      continue;
+    }
+    Tap* t = kernel_->LookupTyped<Tap>(h);
+    if (t != nullptr && t->bank() == &tbank_ && t->bank_slot() == slot) {
+      t->DetachBank();
+    }
+  }
+}
+
 void TapEngine::RebuildPlan() {
-  plan_.clear();
+  // Return the previous epoch's bank state to the surviving objects before
+  // re-snapshotting: cold-path mutations made since then went through the
+  // bank, so the objects are stale until this runs.
+  WriteBackBank();
+
+  resolved_.clear();
   for (ObjectId id : taps_) {
     Tap* tap = kernel_->LookupTyped<Tap>(id);
     if (tap == nullptr) {
@@ -86,7 +121,7 @@ void TapEngine::RebuildPlan() {
         !Kernel::CanUseWith(tap->actor_label(), tap->embedded_privileges(), *dst)) {
       continue;
     }
-    plan_.push_back({tap, src, dst, 0});
+    resolved_.push_back({tap, src, dst});
   }
 
   // Shard assignment: one shard per connected component when sharding is on,
@@ -98,14 +133,117 @@ void TapEngine::RebuildPlan() {
     const ShardLayout& layout = partitioner_->Partition(*kernel_);
     num_shards_ = layout.num_shards == 0 ? 1 : layout.num_shards;
   }
-  const auto n = static_cast<uint32_t>(plan_.size());
-  if (sharding_ && num_shards_ > 1) {
-    // Counting sort into shard-major order, stable so each shard keeps
-    // tap-id order (the order the unsharded engine flows in).
+  const bool multi = sharding_ && num_shards_ > 1;
+  constexpr uint32_t kAlign = 64 / sizeof(double);  // Per-entry slots per cache line.
+  auto pad = [multi](uint32_t v) {
+    return multi ? (v + kAlign - 1) / kAlign * kAlign : v;
+  };
+  // Reserve slots pad to a full 64: the bank's flags array is one byte per
+  // slot and its decay-list bits are written from worker threads, so only a
+  // 64-slot boundary keeps adjacent shards' flag slices off a shared line
+  // (the 8-byte arrays get 512-byte alignment for free).
+  constexpr uint32_t kSlotAlign = 64;
+  auto pad_slots = [multi](uint32_t v) {
+    return multi ? (v + kSlotAlign - 1) / kSlotAlign * kSlotAlign : v;
+  };
+
+  // ---- Reserve slot assignment: shard-major, id order within a shard, each
+  // shard's slice starting cache-line aligned (like group_demand_). Reserves
+  // no tap touches get kNoShard from the partitioner and are spread
+  // round-robin (in id order, so deterministically).
+  const std::vector<ObjectId>& reserves = kernel_->ObjectsOfType(ObjectType::kReserve);
+  const auto nr = static_cast<uint32_t>(reserves.size());
+  reserve_shard_.assign(nr, 0);
+  reserve_stray_.assign(nr, 0);
+  std::vector<uint32_t> slot_count(num_shards_, 0);
+  uint32_t round_robin = 0;
+  for (uint32_t i = 0; i < nr; ++i) {
+    uint32_t s = 0;
+    // Strayness (no tap touches the reserve) is a property of the component
+    // graph, not of the shard count: classify it whenever a partitioner ran,
+    // so a single-component fleet routes stray leakage exactly like a large
+    // one.
+    if (sharding_) {
+      const uint32_t ps = partitioner_->ShardOfReserve(reserves[i]);
+      if (ps == ShardLayout::kNoShard) {
+        reserve_stray_[i] = 1;  // Belongs to no component.
+        if (multi) {
+          s = round_robin++ % num_shards_;  // Decay-only reserve: spread evenly.
+        }
+      } else if (multi) {
+        s = ps;
+      }
+    }
+    reserve_shard_[i] = s;
+    ++slot_count[s];
+  }
+  shard_slot_begin_.assign(num_shards_ + 1, 0);
+  uint32_t next_slot = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    next_slot = pad_slots(next_slot);
+    shard_slot_begin_[s] = next_slot;
+    next_slot += slot_count[s];
+  }
+  shard_slot_begin_[num_shards_] = next_slot;
+  rbank_.Reset(next_slot);
+
+  // Snapshot every reserve into its slot and wire the decay pass: energy
+  // reserves (battery excluded) get the listener hook and count toward their
+  // shard's skip-list capacity; the smallest-id wired reserve of each shard
+  // becomes the shard's decay sink (DecayConfig::to_shard_root).
+  std::vector<uint32_t> cursor(shard_slot_begin_.begin(), shard_slot_begin_.end() - 1);
+  std::vector<uint32_t> assigned(num_shards_, 0);
+  shard_sink_.assign(num_shards_, nullptr);
+  shard_sink_slot_.assign(num_shards_, kNoBankSlot);
+  for (uint32_t i = 0; i < nr; ++i) {
+    const ObjectId id = reserves[i];
+    Reserve* r = kernel_->LookupTyped<Reserve>(id);
+    const uint32_t s = reserve_shard_[i];
+    const uint32_t slot = cursor[s]++;
+    r->AttachBank(&rbank_, slot, kernel_->HandleOf(id));
+    r->set_in_decay_list(false);
+    if (id == battery_reserve_ || r->kind() != ResourceKind::kEnergy) {
+      if (r->decay_listener() == this) {
+        r->DetachDecayListener();
+      }
+      continue;
+    }
+    r->AttachDecayListener(this, s);
+    rbank_.set_flag(slot, ReserveStateBank::kDecayWired, true);
+    ++assigned[s];
+    if (reserve_stray_[i] != 0) {
+      // A round-robined stray is in the shard for load balance only: its
+      // leakage goes to the battery root (it has no component whose pool
+      // could rightfully claim it), and it can never be the shard's sink.
+      rbank_.set_flag(slot, ReserveStateBank::kStrayShard, true);
+    } else if (shard_sink_slot_[s] == kNoBankSlot) {
+      shard_sink_slot_[s] = slot;  // Id order: first wired == smallest id.
+      shard_sink_[s] = r;
+    }
+  }
+  decay_active_.assign(num_shards_, {});
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    decay_active_[s].reserve(assigned[s]);
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    Reserve* r = kernel_->LookupTyped<Reserve>(reserves[i]);
+    if (r->decay_listener() != this) {
+      continue;
+    }
+    if (!r->decay_exempt() && r->level() > 0) {
+      decay_active_[r->decay_shard()].push_back(r->bank_slot());
+      r->set_in_decay_list(true);
+    }
+  }
+
+  // ---- Plan entries: counting sort into shard-major order, stable so each
+  // shard keeps tap-id order (the order the unsharded engine flows in).
+  const auto n = static_cast<uint32_t>(resolved_.size());
+  if (multi) {
     entry_shard_.resize(n);
     shard_plan_begin_.assign(num_shards_ + 1, 0);
     for (uint32_t i = 0; i < n; ++i) {
-      uint32_t s = partitioner_->ShardOfReserve(plan_[i].src->id());
+      uint32_t s = partitioner_->ShardOfReserve(resolved_[i].src->id());
       if (s == ShardLayout::kNoShard) {
         s = 0;  // Unreachable: a plan entry's endpoints are a live tap edge.
       }
@@ -115,110 +253,64 @@ void TapEngine::RebuildPlan() {
     for (uint32_t s = 0; s < num_shards_; ++s) {
       shard_plan_begin_[s + 1] += shard_plan_begin_[s];
     }
-    sorted_plan_.resize(n);
-    std::vector<uint32_t> cursor(shard_plan_begin_.begin(), shard_plan_begin_.end() - 1);
+    sorted_resolved_.resize(n);
+    std::vector<uint32_t> entry_cursor(shard_plan_begin_.begin(), shard_plan_begin_.end() - 1);
     for (uint32_t i = 0; i < n; ++i) {
-      sorted_plan_[cursor[entry_shard_[i]]++] = plan_[i];
+      sorted_resolved_[entry_cursor[entry_shard_[i]]++] = resolved_[i];
     }
-    plan_.swap(sorted_plan_);
-    // Keep the capacity for the next rebuild but drop the stale entries: the
-    // old plan's raw Tap*/Reserve* pointers must not outlive their objects.
-    sorted_plan_.clear();
+    resolved_.swap(sorted_resolved_);
+    // Keep the capacity for the next rebuild but drop the stale entries: raw
+    // Tap*/Reserve* pointers must not outlive their objects.
+    sorted_resolved_.clear();
   } else {
     shard_plan_begin_.assign({0, n});
   }
 
-  // Demand groups (taps sharing a source reserve), numbered contiguously per
-  // shard so each shard owns a disjoint slice of group_demand_. With
-  // multiple shards each slice starts on a cache-line boundary (8 doubles):
-  // pass 1 writes and pass 2 read-modifies these slots every batch, so
-  // back-to-back slices would false-share their boundary lines across
-  // workers. Padding slots belong to the preceding shard (its fill covers
-  // them) and no group index ever points at one.
-  constexpr uint32_t kGroupAlign = 64 / sizeof(double);
-  shard_group_begin_.assign(num_shards_ + 1, 0);
-  std::unordered_map<ObjectId, uint32_t> source_group;
-  uint32_t next_group = 0;
-  for (uint32_t s = 0; s < num_shards_; ++s) {
-    if (num_shards_ > 1) {
-      next_group = (next_group + kGroupAlign - 1) / kGroupAlign * kGroupAlign;
-    }
-    shard_group_begin_[s] = next_group;
-    source_group.clear();
-    for (uint32_t i = shard_plan_begin_[s]; i < shard_plan_begin_[s + 1]; ++i) {
-      auto [it, inserted] = source_group.emplace(plan_[i].tap->source(), next_group);
-      if (inserted) {
-        ++next_group;
-      }
-      plan_[i].group = it->second;
-    }
-  }
-  shard_group_begin_[num_shards_] = next_group;
-  // want_ slices get the same treatment as the demand slices: padded starts
-  // per shard (the plan array stays dense; RunShard rebases through
-  // shard_want_begin_ instead).
+  // Padded per-entry index ranges: the mutable per-entry arrays (want_, tap
+  // carry/transferred/rate/flags) use ti = shard_want_begin_[s] + (i -
+  // shard_plan_begin_[s]) so each shard's slice starts on a cache line; the
+  // dense plan arrays stay compact.
   shard_want_begin_.assign(num_shards_ + 1, 0);
   uint32_t next_want = 0;
   for (uint32_t s = 0; s < num_shards_; ++s) {
-    if (num_shards_ > 1) {
-      next_want = (next_want + kGroupAlign - 1) / kGroupAlign * kGroupAlign;
-    }
+    next_want = pad(next_want);
     shard_want_begin_[s] = next_want;
     next_want += shard_plan_begin_[s + 1] - shard_plan_begin_[s];
   }
   shard_want_begin_[num_shards_] = next_want;
-  // Over-allocate so the working bases themselves sit on a cache-line
-  // boundary — slice padding alone can't help if the heap block starts
-  // mid-line.
-  auto align64 = [](std::vector<double>& v, size_t slots) {
-    v.resize(slots + 64 / sizeof(double));
-    auto addr = reinterpret_cast<uintptr_t>(v.data());
-    return reinterpret_cast<double*>((addr + 63) & ~uintptr_t{63});
-  };
-  want_base_ = align64(want_, next_want);
-  group_base_ = align64(group_demand_, next_group);
+  want_base_ = bank_internal::Align64(want_, next_want);
+  tbank_.Reset(next_want);
 
-  // Decay skip-lists: every energy reserve (battery excluded) is wired to its
-  // shard — its own component's, or round-robin for reserves no tap touches —
-  // and the currently decayable ones (non-empty, non-exempt) seed the lists.
-  // Capacity covers every assigned reserve so mid-epoch re-adds via
-  // OnReserveDecayable never allocate.
-  decay_active_.assign(num_shards_, {});
-  std::vector<uint32_t> assigned(num_shards_, 0);
-  uint32_t round_robin = 0;
-  const std::vector<ObjectId>& reserves = kernel_->ObjectsOfType(ObjectType::kReserve);
-  for (ObjectId id : reserves) {
-    Reserve* r = kernel_->LookupTyped<Reserve>(id);
-    if (id == battery_reserve_ || r->kind() != ResourceKind::kEnergy) {
-      if (r->decay_listener() == this) {
-        r->DetachDecayListener();
-      }
-      continue;
-    }
-    uint32_t s = 0;
-    if (sharding_ && num_shards_ > 1) {
-      s = partitioner_->ShardOfReserve(id);
-      if (s == ShardLayout::kNoShard) {
-        s = round_robin++ % num_shards_;  // Decay-only reserve: spread evenly.
-      }
-    }
-    r->AttachDecayListener(this, s);
-    r->set_in_decay_list(false);
-    ++assigned[s];
-  }
+  // Demand groups (taps sharing a source reserve), numbered contiguously per
+  // shard so each shard owns a disjoint slice of group_demand_; slices are
+  // padded to cache-line boundaries like the slot and want slices. Padding
+  // slots belong to the preceding shard (its fill covers them) and no group
+  // index ever points at one.
+  shard_group_begin_.assign(num_shards_ + 1, 0);
+  plan_src_.assign(n, 0);
+  plan_dst_.assign(n, 0);
+  plan_group_.assign(n, 0);
+  std::unordered_map<ObjectId, uint32_t> source_group;
+  uint32_t next_group = 0;
   for (uint32_t s = 0; s < num_shards_; ++s) {
-    decay_active_[s].reserve(assigned[s]);
-  }
-  for (ObjectId id : reserves) {
-    Reserve* r = kernel_->LookupTyped<Reserve>(id);
-    if (r->decay_listener() != this) {
-      continue;
+    next_group = pad(next_group);
+    shard_group_begin_[s] = next_group;
+    source_group.clear();
+    for (uint32_t i = shard_plan_begin_[s]; i < shard_plan_begin_[s + 1]; ++i) {
+      const ResolvedTap& e = resolved_[i];
+      auto [it, inserted] = source_group.emplace(e.tap->source(), next_group);
+      if (inserted) {
+        ++next_group;
+      }
+      plan_group_[i] = it->second;
+      plan_src_[i] = e.src->bank_slot();
+      plan_dst_[i] = e.dst->bank_slot();
+      const uint32_t ti = shard_want_begin_[s] + (i - shard_plan_begin_[s]);
+      e.tap->AttachBank(&tbank_, ti, kernel_->HandleOf(e.tap->id()));
     }
-    if (!r->decay_exempt() && r->level() > 0) {
-      decay_active_[r->decay_shard()].push_back(r);
-      r->set_in_decay_list(true);
-    }
   }
+  shard_group_begin_[num_shards_] = next_group;
+  group_base_ = bank_internal::Align64(group_demand_, next_group);
 
   scratch_.assign(num_shards_, ShardScratch{});
   stats_.assign(num_shards_, ShardStats{});
@@ -226,8 +318,25 @@ void TapEngine::RebuildPlan() {
     stats_[s].taps = shard_plan_begin_[s + 1] - shard_plan_begin_[s];
     stats_[s].decay_reserves = assigned[s];
   }
+  // Largest shards first: the executor starts the big components immediately
+  // so one giant shard never serializes the tail of a batch. Stable on tap
+  // count, so the order (and everything else) is deterministic.
+  shard_order_.resize(num_shards_);
+  std::iota(shard_order_.begin(), shard_order_.end(), 0u);
+  std::stable_sort(shard_order_.begin(), shard_order_.end(),
+                   [this](uint32_t a, uint32_t b) { return stats_[a].taps > stats_[b].taps; });
+
+  // The plan no longer needs the resolved pointers; drop them eagerly (the
+  // capacity stays for the next rebuild).
+  resolved_.clear();
 
   battery_cache_ = kernel_->LookupTyped<Reserve>(battery_reserve_);
+  // Attaching the objects to this engine's banks stranded any sibling
+  // engine's snapshot; bump the epoch so a sibling re-snapshots (its next
+  // AttachBank writes our live values back through this bank first) instead
+  // of batch-running stale arrays. Engines alternating on one kernel rebuild
+  // every batch — correct, just not the fast path.
+  kernel_->InvalidateCaches();
   plan_epoch_ = kernel_->mutation_epoch();
   plan_valid_ = true;
 }
@@ -247,18 +356,22 @@ void TapEngine::RunBatch(Duration dt) {
   // only worth paying when decay will actually run.
   decay_frac_ =
       decay_.enabled ? 1.0 - std::exp2(-dt.seconds_f() / decay_.half_life.seconds_f()) : 0.0;
+  // Shard sinks are the partitioner's components; without sharding there is
+  // no component structure to route by, so the flag is inert.
+  decay_to_root_ = decay_.to_shard_root && sharding_;
   if (executor_ != nullptr && num_shards_ > 1) {
-    executor_->Run(this, num_shards_);
+    executor_->Run(this, num_shards_, shard_order_.data());
   } else {
     for (uint32_t s = 0; s < num_shards_; ++s) {
       RunShard(s);
     }
   }
   // Deterministic merge, in shard order: engine totals, per-shard stats, and
-  // the decay leakage each shard banked for the battery root. Deferring the
-  // battery deposits here is what keeps the battery's shard race-free — and
-  // it exactly matches the unsharded engine, where every tap reads the
-  // battery before the decay pass touches it.
+  // the decay leakage each shard banked for its sink (the battery root, or
+  // the shard root when decay_to_shard_root is on). Deferring the deposits
+  // here is what keeps the sink's shard race-free — and it exactly matches
+  // the unsharded engine, where every tap reads the battery before the decay
+  // pass touches it.
   Reserve* battery = battery_cache_;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     const ShardScratch& sc = scratch_[s];
@@ -266,8 +379,17 @@ void TapEngine::RunBatch(Duration dt) {
     total_decay_flow_ += sc.decay_flow;
     stats_[s].tap_flow += sc.tap_flow;
     stats_[s].decay_flow += sc.decay_flow;
-    if (sc.decay_to_battery > 0 && battery != nullptr) {
-      battery->Deposit(sc.decay_to_battery);
+    if (sc.decay_leak > 0) {
+      Reserve* sink = decay_to_root_ ? shard_sink_[s] : battery;
+      if (sink == nullptr) {
+        sink = battery;
+      }
+      if (sink != nullptr) {
+        sink->Deposit(sc.decay_leak);
+      }
+    }
+    if (sc.decay_stray > 0 && battery != nullptr) {
+      battery->Deposit(sc.decay_stray);
     }
   }
 }
@@ -277,8 +399,21 @@ void TapEngine::RunShard(uint32_t shard) {
   const double dt_s = batch_dt_s_;
   const uint32_t begin = shard_plan_begin_[shard];
   const uint32_t end = shard_plan_begin_[shard + 1];
-  // Rebase so want[i] (plan index) lands in this shard's padded want_ slice.
-  double* const want_slot = want_base_ + shard_want_begin_[shard] - begin;
+  // Everything the two passes touch is a flat array: the dense plan triple
+  // (src slot, dst slot, group), the reserve bank, and the padded per-entry
+  // arrays rebased through `tb` so this shard's slice is cache-line exclusive.
+  Quantity* const lvl = rbank_.levels();
+  Quantity* const dep = rbank_.deposited();
+  uint8_t* const rflags = rbank_.flags();
+  double* const tcarry = tbank_.carries();
+  Quantity* const ttrans = tbank_.transferred();
+  const QuantityRate* const trate = tbank_.rates();
+  const double* const tfrac = tbank_.fractions();
+  const uint8_t* const tflags = tbank_.flags();
+  const uint32_t* const src_slot = plan_src_.data();
+  const uint32_t* const dst_slot = plan_dst_.data();
+  const uint32_t* const group_of = plan_group_.data();
+  const uint32_t tb = shard_want_begin_[shard] - begin;
   // Two passes. Pass 1 computes each tap's demand for this batch; pass 2
   // executes transfers in id (creation) order, giving taps that contend for
   // the same constrained source a proportional share of whatever is
@@ -290,46 +425,63 @@ void TapEngine::RunShard(uint32_t shard) {
   std::fill(group_base_ + shard_group_begin_[shard],
             group_base_ + shard_group_begin_[shard + 1], 0.0);
   for (uint32_t i = begin; i < end; ++i) {
-    const PlanEntry& e = plan_[i];
-    if (!e.tap->enabled()) {
-      want_slot[i] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
+    const uint32_t ti = tb + i;
+    const uint8_t f = tflags[ti];
+    if ((f & TapStateBank::kEnabled) == 0) {
+      want_base_[ti] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
       continue;
     }
-    double want = e.tap->carry();
-    if (e.tap->tap_type() == TapType::kConstant) {
-      want += static_cast<double>(e.tap->rate_per_sec()) * dt_s;
+    double want = tcarry[ti];
+    if ((f & TapStateBank::kProportional) != 0) {
+      const Quantity level = lvl[src_slot[i]] > 0 ? lvl[src_slot[i]] : 0;
+      want += static_cast<double>(level) * tfrac[ti] * dt_s;
     } else {
-      const Quantity level = e.src->level() > 0 ? e.src->level() : 0;
-      want += static_cast<double>(level) * e.tap->fraction_per_sec() * dt_s;
+      want += static_cast<double>(trate[ti]) * dt_s;
     }
-    want_slot[i] = want;
-    group_base_[e.group] += want;
+    want_base_[ti] = want;
+    group_base_[group_of[i]] += want;
   }
   Quantity shard_flow = 0;
   for (uint32_t i = begin; i < end; ++i) {
-    const double want = want_slot[i];
+    const uint32_t ti = tb + i;
+    const double want = want_base_[ti];
     if (want < 0.0) {
       continue;
     }
-    const PlanEntry& e = plan_[i];
-    double& demand = group_base_[e.group];
-    const double avail = e.src->level() > 0 ? static_cast<double>(e.src->level()) : 0.0;
+    double& demand = group_base_[group_of[i]];
+    const Quantity src_level = lvl[src_slot[i]];
+    const double avail = src_level > 0 ? static_cast<double>(src_level) : 0.0;
     const double scale = (demand > avail && demand > 0.0) ? avail / demand : 1.0;
     const double granted = want * scale;
     demand -= want;
     auto whole = static_cast<Quantity>(granted);
     // The carry keeps only the sub-unit part of the granted flow; demand the
     // source could not cover is dropped, not banked.
-    e.tap->set_carry(granted - static_cast<double>(whole));
+    tcarry[ti] = granted - static_cast<double>(whole);
     if (whole <= 0) {
       continue;
     }
-    const Quantity moved = e.src->Withdraw(whole);
-    if (moved > 0) {
-      e.dst->Deposit(moved);
-      e.tap->AddTransferred(moved);
-      shard_flow += moved;
+    Quantity moved = src_level < whole ? src_level : whole;
+    if (moved <= 0) {
+      continue;
     }
+    lvl[src_slot[i]] = src_level - moved;
+    // Deposit into the sink, including the skip-list re-add the
+    // Reserve::Deposit listener hook fires on an empty -> non-empty flip.
+    const uint32_t d = dst_slot[i];
+    const Quantity dst_level = lvl[d];
+    lvl[d] = dst_level + moved;
+    dep[d] += moved;
+    if (dst_level <= 0 && lvl[d] > 0) {
+      const uint8_t df = rflags[d];
+      if ((df & ReserveStateBank::kDecayWired) != 0 &&
+          (df & ReserveStateBank::kInDecayList) == 0) {
+        rflags[d] = df | ReserveStateBank::kInDecayList;
+        decay_active_[shard].push_back(d);
+      }
+    }
+    ttrans[ti] += moved;
+    shard_flow += moved;
   }
   scratch_[shard].tap_flow = shard_flow;
   if (decay_.enabled) {
@@ -343,34 +495,55 @@ void TapEngine::DecayShard(uint32_t shard) {
   // (swap-erase — per-reserve decay is order-independent) and re-added by
   // OnReserveDecayable when it becomes decayable again.
   const double frac = decay_frac_;
-  std::vector<Reserve*>& active = decay_active_[shard];
+  Quantity* const lvl = rbank_.levels();
+  double* const carry = rbank_.carries();
+  uint8_t* const flags = rbank_.flags();
+  // The shard root absorbs leakage when to_shard_root is on; like the battery
+  // root it does not leak itself, so it stays on the list but is skipped.
+  const bool to_root = decay_to_root_;
+  const uint32_t sink_slot = to_root ? shard_sink_slot_[shard] : kNoBankSlot;
+  std::vector<uint32_t>& active = decay_active_[shard];
   Quantity shard_decay = 0;
+  Quantity stray_decay = 0;
   for (size_t i = 0; i < active.size();) {
-    Reserve* r = active[i];
-    if (r->decay_exempt() || r->level() <= 0) {
-      r->set_in_decay_list(false);
+    const uint32_t s = active[i];
+    if (s == sink_slot) {
+      ++i;
+      continue;
+    }
+    const Quantity level = lvl[s];
+    if ((flags[s] & ReserveStateBank::kDecayExempt) != 0 || level <= 0) {
+      flags[s] &= static_cast<uint8_t>(~ReserveStateBank::kInDecayList);
       active[i] = active.back();
       active.pop_back();
       continue;
     }
-    double want = r->decay_carry() + static_cast<double>(r->level()) * frac;
+    double want = carry[s] + static_cast<double>(level) * frac;
     auto whole = static_cast<Quantity>(want);
-    r->set_decay_carry(want - static_cast<double>(whole));
+    carry[s] = want - static_cast<double>(whole);
     if (whole > 0) {
-      shard_decay += r->Withdraw(whole);
+      const Quantity take = level < whole ? level : whole;
+      lvl[s] = level - take;
+      shard_decay += take;
+      // Strays have no component; their leakage belongs to the battery root
+      // even when the shard's own leakage goes to the shard sink.
+      if (to_root && (flags[s] & ReserveStateBank::kStrayShard) != 0) {
+        stray_decay += take;
+      }
     }
     ++i;
   }
   scratch_[shard].decay_flow = shard_decay;
-  scratch_[shard].decay_to_battery = shard_decay;
+  scratch_[shard].decay_leak = shard_decay - stray_decay;
+  scratch_[shard].decay_stray = stray_decay;
 }
 
 void TapEngine::OnReserveDecayable(Reserve* r) {
-  if (r->in_decay_list()) {
-    return;
+  if (!r->bank_attached() || r->in_decay_list()) {
+    return;  // No plan live; the next rebuild re-seeds the lists anyway.
   }
   r->set_in_decay_list(true);
-  decay_active_[r->decay_shard()].push_back(r);
+  decay_active_[r->decay_shard()].push_back(r->bank_slot());
 }
 
 std::vector<ObjectId> TapEngine::TapsFromSource(ObjectId reserve) const {
@@ -391,9 +564,10 @@ void TapEngine::OnObjectDeleted(ObjectId id, ObjectType type) {
       taps_.erase(it);
     }
   }
-  // The kernel bumps its mutation epoch on every delete, but the cached plan
-  // holds raw pointers, so drop it eagerly rather than risk a stale read
-  // before the next epoch check.
+  // The kernel bumps its mutation epoch on every delete; drop the plan
+  // eagerly rather than risk a stale read before the next epoch check. The
+  // bank stays live for the surviving attached objects until the rebuild
+  // writes it back (dead slots are skipped via their stale handles).
   plan_valid_ = false;
 }
 

@@ -12,12 +12,23 @@
 // Sharded execution (src/exec): taps only touch the two reserves they
 // connect, so the connected components of the reserve/tap graph are
 // independent within a batch. With sharding enabled the cached flow plan is
-// laid out shard-major (per-shard contiguous sections of the same flat
-// arrays) and each shard runs its two tap passes plus its decay slice as one
-// work item — serially, or on a ShardExecutor worker pool. Cross-shard state
-// (flow totals, decay leakage into the battery root) is accumulated per shard
-// and merged after the batch in shard order, so results are bit-identical to
-// the unsharded engine regardless of worker count.
+// laid out shard-major and each shard runs its two tap passes plus its decay
+// slice as one work item — serially, or on a ShardExecutor worker pool
+// (largest shards first, so one giant component never serializes the tail of
+// a batch). Cross-shard state (flow totals, decay leakage into the battery
+// root or the per-shard sinks) is accumulated per shard and merged after the
+// batch in shard order, so results are bit-identical to the unsharded engine
+// regardless of worker count.
+//
+// Structure-of-arrays state bank: while a plan is live, the hot mutable state
+// of every reserve (level, deposited, decay carry, decay flags) and every
+// planned tap (carry, transferred, rate, enabled) lives in the engine-owned
+// ReserveStateBank / TapStateBank — parallel flat arrays indexed by dense
+// per-epoch slots, shard-major with cache-line-aligned shard slices. The plan
+// itself stores bank slots, not pointers: RunShard, both tap passes, and the
+// decay skip-list walk nothing but flat arrays. Reserve/Tap objects
+// read/write through their slot while attached and get the state written back
+// on plan invalidation (see src/core/state_bank.h for the contract).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +37,7 @@
 
 #include "src/base/units.h"
 #include "src/core/reserve.h"
+#include "src/core/state_bank.h"
 #include "src/core/tap.h"
 #include "src/exec/shard_task.h"
 #include "src/histar/kernel.h"
@@ -41,6 +53,15 @@ struct DecayConfig {
   bool enabled = true;
   // Default: 50% leaks away after 10 minutes.
   Duration half_life = Duration::Minutes(10);
+  // Route each shard's decay leakage to that shard's smallest-id energy
+  // reserve instead of the single battery root — fleet scenarios where each
+  // phone's leakage should return to its own pool. The shard root itself does
+  // not leak while this is on: it is the shard-local analogue of the
+  // (decay-exempt) battery root. Reserves no tap touches belong to no
+  // component and keep leaking to the battery. Takes effect on the next
+  // batch; requires sharded mode (EnableSharding — a null executor is fine)
+  // and is inert otherwise, since the sinks are the partitioner's components.
+  bool to_shard_root = false;
 };
 
 class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayListener {
@@ -86,6 +107,10 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
     Quantity decay_flow = 0;
   };
   const std::vector<ShardStats>& shard_stats() const { return stats_; }
+  // The order work items are handed to the executor: shard indices sorted by
+  // tap count, largest first, so a giant component starts immediately instead
+  // of serializing the tail of the batch. Results never depend on it.
+  const std::vector<uint32_t>& shard_run_order() const { return shard_order_; }
 
   // Registered taps whose source is `reserve`, in id order. Used by
   // ReserveClone / strict transfers to find backward (drain) taps.
@@ -107,16 +132,13 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   void OnReserveDecayable(Reserve* r) override;
 
  private:
-  // One registered tap with everything the batch loop needs pre-resolved:
-  // endpoint pointers and the label check, both valid while the kernel's
-  // mutation epoch is unchanged. `group` indexes the per-source demand
-  // scratch slot shared by all taps draining the same reserve; group slots
-  // are contiguous per shard.
-  struct PlanEntry {
+  // A registered tap resolved for one plan build. Only used during
+  // RebuildPlan: the plan the batch loops walk is the SoA triple
+  // (plan_src_/plan_dst_/plan_group_) plus the tap bank arrays.
+  struct ResolvedTap {
     Tap* tap;
     Reserve* src;
     Reserve* dst;
-    uint32_t group;
   };
 
   // Per-shard batch accumulators, merged (in shard order) after the parallel
@@ -124,13 +146,18 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   struct alignas(64) ShardScratch {
     Quantity tap_flow = 0;
     Quantity decay_flow = 0;
-    Quantity decay_to_battery = 0;
+    Quantity decay_leak = 0;   // Banked for the battery root / shard sink.
+    Quantity decay_stray = 0;  // Stray reserves' leakage: always the battery.
   };
 
   bool PlanIsCurrent() const {
     return plan_valid_ && plan_epoch_ == kernel_->mutation_epoch();
   }
   void RebuildPlan();
+  // Copies bank state back into every surviving attached object and detaches
+  // it (dead objects miss via their generation-tagged handles). Called before
+  // every re-snapshot and from the destructor.
+  void WriteBackBank();
   void DecayShard(uint32_t shard);
 
   Kernel* kernel_;
@@ -138,33 +165,55 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   DecayConfig decay_;
   std::vector<ObjectId> taps_;  // Creation order == id order.
 
-  // Cached flow plan + reusable scratch, so steady-state RunBatch is a tight
-  // loop over flat arrays with zero heap allocation. Entries are laid out
-  // shard-major, tap-id order within a shard (one shard holds everything when
-  // sharding is off); shard s owns plan_[shard_plan_begin_[s] ..
-  // shard_plan_begin_[s+1]) and group_demand_[shard_group_begin_[s] ..
-  // shard_group_begin_[s+1]).
-  std::vector<PlanEntry> plan_;
-  // Pass-1 scratch, one slot per plan entry (-1 marks "skip"). Indexed
-  // through want_base_ + shard_want_begin_, not the plan index: per-shard
-  // slices are padded to cache-line boundaries so concurrent shards never
-  // write the same line (the plan array itself stays dense).
+  // -- Cached flow plan (SoA) ---------------------------------------------------
+  // Entries are laid out shard-major, tap-id order within a shard (one shard
+  // holds everything when sharding is off); shard s owns plan indices
+  // [shard_plan_begin_[s], shard_plan_begin_[s+1]). plan_src_/plan_dst_ hold
+  // ReserveStateBank slots, plan_group_ the per-source demand slot. The
+  // per-entry mutable state (tap carry/transferred/rate/enabled and the
+  // pass-1 `want_` scratch) is indexed through the *padded* per-entry index
+  // ti = shard_want_begin_[s] + (i - shard_plan_begin_[s]), so each shard's
+  // slice of those arrays starts cache-line aligned and concurrent shards
+  // never write the same line. -1 in want_ marks "skip".
+  std::vector<uint32_t> plan_src_;
+  std::vector<uint32_t> plan_dst_;
+  std::vector<uint32_t> plan_group_;
+  std::vector<uint32_t> shard_plan_begin_;
+  std::vector<uint32_t> shard_want_begin_;
   std::vector<double> want_;
   double* want_base_ = nullptr;
-  std::vector<uint32_t> shard_want_begin_;
   // Per distinct source reserve, indexed through group_base_: the vector is
   // over-allocated so group_base_ can start on a cache-line boundary, which
   // (with the per-shard slice padding in RebuildPlan) gives each shard
   // exclusive ownership of its demand lines.
   std::vector<double> group_demand_;
   double* group_base_ = nullptr;
-  std::vector<uint32_t> shard_plan_begin_;
   std::vector<uint32_t> shard_group_begin_;
-  // Decay skip-list, one per shard: the non-empty, non-exempt energy reserves
-  // whose decay this shard runs. Lazily pruned when a member is drained or
-  // exempted; refilled through OnReserveDecayable. Capacity is reserved for
+
+  // -- State banks --------------------------------------------------------------
+  // Reserve slots are dense per epoch and shard-major: shard s owns
+  // [shard_slot_begin_[s], shard_slot_begin_[s+1]) with slices padded to
+  // cache-line boundaries, id order within a shard. Tap slots are the padded
+  // per-entry indices above.
+  ReserveStateBank rbank_;
+  TapStateBank tbank_;
+  std::vector<uint32_t> shard_slot_begin_;
+
+  // Decay skip-list, one per shard: bank slots of the non-empty, non-exempt
+  // energy reserves whose decay this shard runs. Lazily pruned when a member
+  // is found drained or exempted; refilled through OnReserveDecayable (cold
+  // path) or the in-batch deposit hook (hot path). Capacity is reserved for
   // every assigned reserve at rebuild, so mid-epoch re-adds never allocate.
-  std::vector<std::vector<Reserve*>> decay_active_;
+  std::vector<std::vector<uint32_t>> decay_active_;
+  // Per-shard decay sink (DecayConfig::to_shard_root): the smallest-id
+  // decay-wired reserve of the shard, resolved at plan build. The pointer is
+  // epoch-valid like battery_cache_; the slot lets DecayShard skip the sink's
+  // own leakage with one compare.
+  std::vector<Reserve*> shard_sink_;
+  std::vector<uint32_t> shard_sink_slot_;
+  // Largest-first execution order handed to the ShardExecutor.
+  std::vector<uint32_t> shard_order_;
+
   std::vector<ShardScratch> scratch_;
   std::vector<ShardStats> stats_;
   Reserve* battery_cache_ = nullptr;
@@ -178,10 +227,14 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   // Batch-wide constants published before the (possibly parallel) shard runs.
   double batch_dt_s_ = 0.0;
   double decay_frac_ = 0.0;
+  bool decay_to_root_ = false;
 
   // Rebuild-only scratch (kept to reuse capacity across rebuilds).
-  std::vector<PlanEntry> sorted_plan_;
+  std::vector<ResolvedTap> resolved_;
+  std::vector<ResolvedTap> sorted_resolved_;
   std::vector<uint32_t> entry_shard_;
+  std::vector<uint32_t> reserve_shard_;
+  std::vector<uint8_t> reserve_stray_;
 
   Quantity total_tap_flow_ = 0;
   Quantity total_decay_flow_ = 0;

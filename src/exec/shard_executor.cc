@@ -20,7 +20,8 @@ ShardExecutor::~ShardExecutor() {
   }
 }
 
-void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, uint64_t generation) {
+void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32_t* order,
+                                uint64_t generation) {
   // The ticket packs (generation << 32 | next_shard). Claiming via CAS (not
   // fetch_add) keeps a straggler from a finished batch from blindly consuming
   // a shard index that already belongs to the next batch: a stale generation
@@ -38,7 +39,7 @@ void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, uint64_t gen
     if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_relaxed)) {
       continue;  // Lost the claim; t was reloaded.
     }
-    task->RunShard(s);
+    task->RunShard(order != nullptr ? order[s] : s);
     // acq_rel so the waiter's acquire load of done_shards_ orders every
     // shard's writes before the caller's merge step.
     if (done_shards_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards) {
@@ -54,6 +55,7 @@ void ShardExecutor::WorkerMain() {
   while (true) {
     ShardTask* task;
     uint32_t n_shards;
+    const uint32_t* order;
     uint64_t generation;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -67,18 +69,19 @@ void ShardExecutor::WorkerMain() {
       generation = generation_;
       task = task_;
       n_shards = n_shards_;
+      order = order_;
     }
-    DrainShards(task, n_shards, generation);
+    DrainShards(task, n_shards, order, generation);
   }
 }
 
-void ShardExecutor::Run(ShardTask* task, uint32_t n_shards) {
+void ShardExecutor::Run(ShardTask* task, uint32_t n_shards, const uint32_t* order) {
   if (n_shards == 0) {
     return;
   }
   if (threads_.empty() || n_shards == 1) {
     for (uint32_t s = 0; s < n_shards; ++s) {
-      task->RunShard(s);
+      task->RunShard(order != nullptr ? order[s] : s);
     }
     return;
   }
@@ -87,13 +90,14 @@ void ShardExecutor::Run(ShardTask* task, uint32_t n_shards) {
     std::lock_guard<std::mutex> lk(mu_);
     task_ = task;
     n_shards_ = n_shards;
+    order_ = order;
     generation = ++generation_;
     done_shards_.store(0, std::memory_order_relaxed);
     ticket_.store(generation << 32, std::memory_order_relaxed);
   }
   cv_start_.notify_all();
   // The caller is worker zero.
-  DrainShards(task, n_shards, generation);
+  DrainShards(task, n_shards, order, generation);
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return done_shards_.load(std::memory_order_acquire) == n_shards; });
 }

@@ -36,11 +36,20 @@ class ShardExecutor {
 
   // Runs task->RunShard(s) for every s in [0, n_shards) and blocks until all
   // have finished. Not reentrant: one Run at a time, from one thread.
-  void Run(ShardTask* task, uint32_t n_shards);
+  //
+  // `order`, when non-null, is a permutation of [0, n_shards): workers claim
+  // ticket i and run order[i], so the caller can schedule expensive shards
+  // first (the tap engine passes tap-count-descending order — one giant
+  // component then overlaps the many small ones instead of serializing the
+  // tail of the batch). The order affects only wall-clock, never results:
+  // every shard still runs exactly once and the caller merges after Run. The
+  // array must stay alive until Run returns.
+  void Run(ShardTask* task, uint32_t n_shards, const uint32_t* order = nullptr);
 
  private:
   void WorkerMain();
-  void DrainShards(ShardTask* task, uint32_t n_shards, uint64_t generation);
+  void DrainShards(ShardTask* task, uint32_t n_shards, const uint32_t* order,
+                   uint64_t generation);
 
   const int workers_;
   std::vector<std::thread> threads_;
@@ -49,6 +58,7 @@ class ShardExecutor {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   ShardTask* task_ = nullptr;
+  const uint32_t* order_ = nullptr;
   uint32_t n_shards_ = 0;
   uint64_t generation_ = 0;
   bool stop_ = false;

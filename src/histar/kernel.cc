@@ -32,16 +32,23 @@ void Kernel::InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj) {
   } else {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.push_back(std::move(obj));
+    slot_generation_.push_back(0);
   }
-  if (id >= id_to_slot_.size()) {
-    id_to_slot_.resize(id + 1, kNoSlot);
+  const uint64_t page = id >> kIdPageBits;
+  if (page >= id_pages_.size()) {
+    id_pages_.resize(page + 1);
   }
-  id_to_slot_[id] = slot;
+  if (id_pages_[page] == nullptr) {
+    id_pages_[page] = std::make_unique<IdPage>();
+    id_pages_[page]->slot.fill(kNoSlot);
+  }
+  id_pages_[page]->slot[id & (kIdPageSize - 1)] = slot;
+  ++id_pages_[page]->live;
   ++mutation_epoch_;
 }
 
 void Kernel::EraseObject(ObjectId id) {
-  const uint32_t slot = id_to_slot_[id];
+  const uint32_t slot = SlotOf(id);
   const ObjectType type = slots_[slot]->type();
   if (type == ObjectType::kReserve || type == ObjectType::kTap) {
     ++topology_epoch_;
@@ -52,11 +59,18 @@ void Kernel::EraseObject(ObjectId id) {
     index.erase(it);
   }
   slots_[slot].reset();
+  // Recycling the slot invalidates every outstanding ObjectHandle to it.
+  ++slot_generation_[slot];
   free_slots_.push_back(slot);
-  // Ids are never reused, so the entry just goes dead. The map costs 4 bytes
-  // per id ever created; trimming it would make churn quadratic, because the
-  // next (monotonic) id has to re-fill the freed tail.
-  id_to_slot_[id] = kNoSlot;
+  // Ids are never reused, so the entry goes dead; the page is reclaimed once
+  // every entry in it is dead. The tail page (where the next monotonic id
+  // will land) is deliberately kept even when empty — freeing it would make
+  // a create/delete loop alloc and memset a page per iteration.
+  const uint64_t page = id >> kIdPageBits;
+  id_pages_[page]->slot[id & (kIdPageSize - 1)] = kNoSlot;
+  if (--id_pages_[page]->live == 0 && page != (next_id_ >> kIdPageBits)) {
+    id_pages_[page].reset();
+  }
   ++mutation_epoch_;
 }
 

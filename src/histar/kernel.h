@@ -65,22 +65,48 @@ class Kernel {
   // Reparents an object into another container.
   Status Move(ObjectId id, ObjectId new_parent);
 
-  // O(1): two array indexes (id -> slot -> object), no hashing. Slots are
-  // recycled through a free list; ids are never reused, so a stale id simply
-  // misses in the id->slot map.
+  // O(1): page lookup + two array indexes (id -> slot -> object), no hashing.
+  // Slots are recycled through a free list; ids are never reused, so a stale
+  // id simply misses in the id->slot map. The map is paged so fully-dead id
+  // ranges can be reclaimed after delete-heavy churn (see IdPage below).
   KernelObject* Lookup(ObjectId id) {
-    if (id >= id_to_slot_.size()) {
-      return nullptr;
-    }
-    const uint32_t slot = id_to_slot_[id];
+    const uint32_t slot = SlotOf(id);
     return slot == kNoSlot ? nullptr : slots_[slot].get();
   }
   const KernelObject* Lookup(ObjectId id) const {
-    if (id >= id_to_slot_.size()) {
+    const uint32_t slot = SlotOf(id);
+    return slot == kNoSlot ? nullptr : slots_[slot].get();
+  }
+
+  // -- Generation-tagged handles -------------------------------------------------
+  // A handle resolves straight to the slab slot, skipping the id map, and is
+  // tagged with the slot's generation: recycling the slot (delete + create)
+  // bumps the generation, so stale handles miss instead of aliasing the new
+  // tenant. Handles are the stable keys long-lived caches (the tap engine's
+  // state banks) use for write-back — they survive id-map compaction.
+  ObjectHandle HandleOf(ObjectId id) const {
+    const uint32_t slot = SlotOf(id);
+    return slot == kNoSlot ? ObjectHandle{} : ObjectHandle{slot, slot_generation_[slot]};
+  }
+  KernelObject* Lookup(ObjectHandle h) {
+    if (h.slot >= slots_.size() || slot_generation_[h.slot] != h.generation) {
       return nullptr;
     }
-    const uint32_t slot = id_to_slot_[id];
-    return slot == kNoSlot ? nullptr : slots_[slot].get();
+    return slots_[h.slot].get();
+  }
+  const KernelObject* Lookup(ObjectHandle h) const {
+    if (h.slot >= slots_.size() || slot_generation_[h.slot] != h.generation) {
+      return nullptr;
+    }
+    return slots_[h.slot].get();
+  }
+  template <typename T>
+  T* LookupTyped(ObjectHandle h) {
+    KernelObject* o = Lookup(h);
+    if (o == nullptr || o->type() != TypeOf<T>()) {
+      return nullptr;
+    }
+    return static_cast<T*>(o);
   }
 
   template <typename T>
@@ -117,6 +143,12 @@ class Kernel {
   // credential changes. Caches that resolve ids to pointers (flow plans,
   // run queues) are valid exactly while the epoch is unchanged.
   uint64_t mutation_epoch() const { return mutation_epoch_; }
+  // Invalidates every mutation-epoch-keyed cache without mutating any
+  // object. Cache owners whose rebuild hands shared object state between
+  // caches call this — a TapEngine re-attaching reserves/taps to its state
+  // bank strands any sibling engine's snapshot, so siblings must re-resolve
+  // rather than trust a stale plan.
+  void InvalidateCaches() { ++mutation_epoch_; }
 
   // Bumped only on reserve/tap create/delete — the sole mutations that can
   // change the reserve/tap connectivity graph (tap endpoints are immutable
@@ -170,24 +202,56 @@ class Kernel {
   // Statistics.
   int64_t total_created() const { return next_id_ - 2; }
   int64_t total_deleted() const { return total_deleted_; }
+  // Bytes held by the id->slot map (live pages + page table). Bounded by the
+  // live-id span, not by ids-ever-created: the churn regression test pins this.
+  size_t id_map_bytes() const {
+    size_t bytes = id_pages_.capacity() * sizeof(id_pages_[0]);
+    for (const auto& page : id_pages_) {
+      if (page != nullptr) {
+        bytes += sizeof(IdPage);
+      }
+    }
+    return bytes;
+  }
 
  private:
   static constexpr uint32_t kNoSlot = UINT32_MAX;
   static constexpr size_t kNumTypes = 8;
+  // Id-map page: 4096 ids per page. A page whose entries are all tombstones
+  // is freed (unless it is the tail page the next monotonic id will land in,
+  // which avoids the alloc/free ping-pong a create/delete loop would cause),
+  // so delete-heavy scenarios reclaim the map instead of growing 4 bytes per
+  // id forever. The page table itself costs 8 bytes per 4096 ids ever.
+  static constexpr uint32_t kIdPageBits = 12;
+  static constexpr uint64_t kIdPageSize = uint64_t{1} << kIdPageBits;
+  struct IdPage {
+    std::array<uint32_t, kIdPageSize> slot;
+    uint32_t live = 0;
+  };
 
   template <typename T>
   static constexpr ObjectType TypeOf();
+
+  uint32_t SlotOf(ObjectId id) const {
+    const uint64_t page = id >> kIdPageBits;
+    if (page >= id_pages_.size() || id_pages_[page] == nullptr) {
+      return kNoSlot;
+    }
+    return id_pages_[page]->slot[id & (kIdPageSize - 1)];
+  }
 
   void InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj);
   void EraseObject(ObjectId id);
   void DeleteRecursive(ObjectId id, std::vector<std::pair<ObjectId, ObjectType>>* deleted);
 
-  // Slab-style object table: dense slot array + free list, with a flat
-  // id->slot map (ids are sequential and never reused, so a vector indexed
-  // by id suffices; dead entries stay as kNoSlot tombstones).
+  // Slab-style object table: dense slot array + free list (with per-slot
+  // generation tags for ObjectHandle), plus the paged id->slot map (ids are
+  // sequential and never reused, so dead entries are kNoSlot tombstones and
+  // all-dead pages are reclaimed).
   std::vector<std::unique_ptr<KernelObject>> slots_;
+  std::vector<uint32_t> slot_generation_;
   std::vector<uint32_t> free_slots_;
-  std::vector<uint32_t> id_to_slot_;
+  std::vector<std::unique_ptr<IdPage>> id_pages_;
   // Per-type live-object indices, id-ordered (append-only on create since ids
   // are monotonic; binary-search erase on delete).
   std::array<std::vector<ObjectId>, kNumTypes> by_type_;

@@ -16,6 +16,24 @@ namespace cinder {
 using ObjectId = uint64_t;
 inline constexpr ObjectId kInvalidObjectId = 0;
 
+// A generation-tagged reference to a kernel object's slab slot. Unlike an
+// ObjectId (which resolves through the id map), a handle goes straight to the
+// slot array: the generation tag is bumped every time a slot is recycled, so
+// a stale handle misses deterministically instead of aliasing the slot's new
+// tenant. Handles stay valid across id-map compaction, which makes them the
+// right key for long-lived side tables (the tap engine's state banks) that
+// must survive delete-heavy churn.
+struct ObjectHandle {
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  uint32_t slot = kNoSlot;
+  uint32_t generation = 0;
+
+  bool valid() const { return slot != kNoSlot; }
+  bool operator==(const ObjectHandle& o) const {
+    return slot == o.slot && generation == o.generation;
+  }
+};
+
 enum class ObjectType : uint8_t {
   kContainer,
   kSegment,

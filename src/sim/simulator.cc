@@ -21,9 +21,13 @@ Simulator::Simulator(SimConfig config)
   tap_engine_ = std::make_unique<TapEngine>(&kernel_, battery_reserve_);
   tap_engine_->decay().enabled = config_.decay_enabled;
   tap_engine_->decay().half_life = config_.decay_half_life;
+  tap_engine_->decay().to_shard_root = config_.decay_to_shard_root;
   if (config_.tap_workers >= 1) {
     shard_executor_ = std::make_unique<ShardExecutor>(config_.tap_workers);
     tap_engine_->EnableSharding(shard_executor_.get());
+  } else if (config_.decay_to_shard_root) {
+    // Shard sinks are per-component; run sharded but serial in the caller.
+    tap_engine_->EnableSharding(nullptr);
   }
   scheduler_ = std::make_unique<EnergyAwareScheduler>(&kernel_);
 

@@ -48,6 +48,12 @@ struct SimConfig {
   // are bit-identical either way; sharding pays off for fleet scenarios with
   // many disconnected devices.
   int tap_workers = 0;
+  // Route each shard's decay leakage back to that shard's smallest-id energy
+  // reserve instead of the single battery root — fleet scenarios where each
+  // phone's hoarded energy should return to its own pool. Implies sharded
+  // (serial) execution even when tap_workers is 0, since the sinks are the
+  // partitioner's components.
+  bool decay_to_shard_root = false;
 };
 
 class Simulator final : public PowerSource {

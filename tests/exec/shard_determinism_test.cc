@@ -167,6 +167,151 @@ TEST(ShardDeterminismTest, IrregularBatchDurationsStayIdentical) {
   ExpectIdenticalState(unsharded, sharded, "irregular durations");
 }
 
+TEST(ShardDeterminismTest, ExecutorOrderIsLargestShardFirst) {
+  ShardExecutor exec(2);
+  Fleet sharded(&exec, /*sharded=*/true);
+  // Unbalance the fleet: give phone 0's component three extra taps.
+  const std::string prefix = "phone0/extra";
+  const auto& reserves = sharded.kernel.ObjectsOfType(ObjectType::kReserve);
+  ObjectId pool = reserves[1];  // First reserve after the battery = phone0/pool.
+  for (int i = 0; i < 3; ++i) {
+    Reserve* r = sharded.NewReserve(prefix + std::to_string(i));
+    sharded.NewTap(pool, r->id(), prefix + "/t" + std::to_string(i))
+        ->SetConstantPower(Power::Milliwatts(1));
+  }
+  sharded.RunBatches(1);
+  const auto& order = sharded.engine->shard_run_order();
+  const auto& stats = sharded.engine->shard_stats();
+  ASSERT_EQ(order.size(), stats.size());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(stats[order[i - 1]].taps, stats[order[i]].taps)
+        << "order[" << i - 1 << "]=" << order[i - 1] << " order[" << i << "]=" << order[i];
+  }
+  EXPECT_EQ(order[0], 0u) << "phone 0 has the most taps and must run first";
+}
+
+// decay_to_shard_root golden: with per-shard sinks on, results must still be
+// bit-identical across worker counts (the serial sharded engine is the
+// reference), the battery must receive no decay leakage, and every shard's
+// leakage must land in that shard's smallest-id energy reserve (the pool).
+TEST(ShardDeterminismTest, DecayToShardRootIdenticalAcrossWorkerCounts) {
+  ShardExecutor serial(1);
+  Fleet reference(&serial, /*sharded=*/true);
+  reference.engine->decay().to_shard_root = true;
+  reference.RunBatches(5000);
+
+  for (int workers : {2, 8}) {
+    ShardExecutor exec(workers);
+    Fleet got(&exec, /*sharded=*/true);
+    got.engine->decay().to_shard_root = true;
+    got.RunBatches(5000);
+    ExpectIdenticalState(reference, got,
+                         ("to_shard_root workers=" + std::to_string(workers)).c_str());
+  }
+}
+
+// Leakage routing under to_shard_root: a component's decay lands in that
+// component's pool (its smallest-id energy reserve); a tap-less *stray*
+// reserve belongs to no component, so its leakage still goes to the battery
+// root — never to whichever shard round-robin happened to balance it into.
+TEST(ShardDeterminismTest, DecayToShardRootRoutesLeakageByComponent) {
+  ShardExecutor exec(2);
+  Fleet fleet(&exec, /*sharded=*/true);
+  fleet.engine->decay().to_shard_root = true;
+  const Reserve* battery = fleet.kernel.LookupTyped<Reserve>(fleet.battery);
+  const Quantity battery_deposited_before = battery->total_deposited();
+  // Per phone (creation order per AddPhone): pool, a, b, hoard reserves and
+  // feed_a, feed_b, a_to_b, back taps. The hoard is the tap-less stray.
+  const auto& reserves = fleet.kernel.ObjectsOfType(ObjectType::kReserve);
+  const auto& tap_ids = fleet.kernel.ObjectsOfType(ObjectType::kTap);
+  std::vector<Quantity> pool_deposited_before(kPhones);
+  for (int p = 0; p < kPhones; ++p) {
+    pool_deposited_before[p] =
+        fleet.kernel.LookupTyped<Reserve>(reserves[1 + 4 * p])->total_deposited();
+  }
+  auto total = [&fleet] {
+    Quantity sum = 0;
+    for (ObjectId id : fleet.kernel.ObjectsOfType(ObjectType::kReserve)) {
+      sum += fleet.kernel.LookupTyped<Reserve>(id)->level();
+    }
+    return sum;
+  };
+  const Quantity before = total();
+  fleet.RunBatches(5000);
+  EXPECT_GT(fleet.engine->total_decay_flow(), 0);
+  // Conservation holds exactly: leakage stayed in the system.
+  EXPECT_EQ(total(), before);
+  // The battery received exactly the strays' losses (the hoards only ever
+  // lose energy to decay, so their loss is deposits minus level) ...
+  Quantity hoard_loss = 0;
+  Quantity pool_leak = 0;
+  for (int p = 0; p < kPhones; ++p) {
+    const Reserve* hoard = fleet.kernel.LookupTyped<Reserve>(reserves[4 + 4 * p]);
+    hoard_loss += hoard->total_deposited() - hoard->level();
+    const Reserve* pool = fleet.kernel.LookupTyped<Reserve>(reserves[1 + 4 * p]);
+    const Tap* back = fleet.kernel.LookupTyped<Tap>(tap_ids[3 + 4 * p]);
+    // Pool inflows are the backward tap plus its component's decay leakage.
+    pool_leak += pool->total_deposited() - pool_deposited_before[p] -
+                 back->total_transferred();
+  }
+  const Quantity battery_delta = battery->total_deposited() - battery_deposited_before;
+  EXPECT_GT(hoard_loss, 0);
+  EXPECT_EQ(battery_delta, hoard_loss) << "stray leakage must go to the battery root";
+  // ... and every other leaked nanojoule landed in the components' own pools.
+  EXPECT_GT(pool_leak, 0);
+  EXPECT_EQ(pool_leak + battery_delta, fleet.engine->total_decay_flow());
+}
+
+// Strayness is a component-graph property, not a shard-count property: with
+// ONE component the engine takes the single-shard layout path, but a tap-less
+// hoard must still leak to the battery, exactly as it does in a big fleet.
+TEST(ShardDeterminismTest, DecayToShardRootSingleComponentStrayStillLeaksToBattery) {
+  ShardExecutor exec(1);
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = true;
+  engine.decay().half_life = Duration::Seconds(30);
+  engine.decay().to_shard_root = true;
+  engine.EnableSharding(&exec);
+  Reserve* pool = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "pool");
+  pool->Deposit(ToQuantity(Energy::Joules(50.0)));
+  Reserve* app = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "app");
+  Tap* feed = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "feed", pool->id(),
+                            app->id());
+  feed->SetConstantPower(Power::Milliwatts(40));
+  ASSERT_TRUE(engine.Register(feed->id()));
+  Reserve* hoard = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "hoard");
+  hoard->Deposit(ToQuantity(Energy::Joules(2.0)));
+
+  const Quantity battery_deposited_before = battery->total_deposited();
+  const Quantity pool_deposited_before = pool->total_deposited();
+  for (int i = 0; i < 3000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  ASSERT_EQ(engine.shard_count(), 1u);
+  const Quantity hoard_loss = hoard->total_deposited() - hoard->level();
+  EXPECT_GT(hoard_loss, 0);
+  EXPECT_EQ(battery->total_deposited() - battery_deposited_before, hoard_loss)
+      << "the tap-less hoard belongs to no component; its leakage is the battery's";
+  // The component's own leakage (app decays; pool is the sink) went to pool.
+  EXPECT_EQ(pool->total_deposited() - pool_deposited_before,
+            engine.total_decay_flow() - hoard_loss);
+}
+
+TEST(ShardDeterminismTest, DecayToShardRootOffMatchesUnshardedGolden) {
+  // The flag's default-off path is the existing guarantee: sharded == the
+  // unsharded engine bit for bit. Pin it explicitly next to the flag-on test.
+  Fleet unsharded;
+  ShardExecutor exec(4);
+  Fleet sharded(&exec, /*sharded=*/true);
+  ASSERT_FALSE(sharded.engine->decay().to_shard_root);
+  unsharded.RunBatches(2000);
+  sharded.RunBatches(2000);
+  ExpectIdenticalState(unsharded, sharded, "to_shard_root off");
+}
+
 TEST(ShardDeterminismTest, ShardStatsCoverThePlan) {
   ShardExecutor exec(2);
   Fleet sharded(&exec, /*sharded=*/true);

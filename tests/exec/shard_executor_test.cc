@@ -69,6 +69,40 @@ TEST(ShardExecutorTest, RepeatedRunsDoNotLeakWorkAcrossBatches) {
   }
 }
 
+// Records the order shards were claimed in (serial executor, so the claim
+// order is the execution order).
+class OrderRecordingTask : public ShardTask {
+ public:
+  void RunShard(uint32_t shard) override { order_.push_back(shard); }
+  const std::vector<uint32_t>& order() const { return order_; }
+
+ private:
+  std::vector<uint32_t> order_;
+};
+
+TEST(ShardExecutorTest, HonorsCallerSuppliedExecutionOrder) {
+  ShardExecutor exec(1);
+  OrderRecordingTask task;
+  const std::vector<uint32_t> order = {3, 0, 2, 1};
+  exec.Run(&task, 4, order.data());
+  EXPECT_EQ(task.order(), order);
+}
+
+TEST(ShardExecutorTest, OrderedRunStillRunsEveryShardExactlyOnceOnAPool) {
+  ShardExecutor exec(4);
+  CountingTask task(37);
+  std::vector<uint32_t> order(37);
+  for (uint32_t s = 0; s < 37; ++s) {
+    order[s] = 36 - s;  // Largest-index first; any permutation is legal.
+  }
+  for (int batch = 0; batch < 500; ++batch) {
+    exec.Run(&task, 37, order.data());
+  }
+  for (uint32_t s = 0; s < 37; ++s) {
+    EXPECT_EQ(task.count(s), 500u) << "shard " << s;
+  }
+}
+
 TEST(ShardExecutorTest, MoreShardsThanWorkersAndViceVersa) {
   ShardExecutor exec(8);
   CountingTask wide(64);
