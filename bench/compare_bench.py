@@ -76,13 +76,19 @@ def main():
                 flag = "  (regressed; not gated)"
         print(f"{name:<{width}}  {old_t:>12.1f}  {new_t:>12.1f}  {ratio:>6.2f}x{flag}")
 
-    # A gate that is not measurable is a gate that is off: fail loudly rather
-    # than let a rename or a truncated run disarm the CI contract.
-    missing_gates = [g for g in args.gate if g not in common]
-    for g in missing_gates:
-        print(f"compare_bench: gated benchmark {g} not present in both files",
+    # A gate missing from the *current* run means a rename or a truncated run
+    # disarmed the CI contract: fail loudly. A gate present in the current run
+    # but absent from the baseline is a freshly added benchmark — its first
+    # run IS the baseline, so warn and let the gate arm on the next compare.
+    missing_current = [g for g in args.gate if g not in new]
+    for g in missing_current:
+        print(f"compare_bench: gated benchmark {g} missing from current run",
               file=sys.stderr)
-    if missing_gates and not args.warn_only:
+    for g in args.gate:
+        if g in new and g not in old:
+            print(f"compare_bench: gated benchmark {g} has no baseline yet "
+                  f"(new benchmark); gate arms next run", file=sys.stderr)
+    if missing_current and not args.warn_only:
         return 1
 
     if failures:

@@ -117,6 +117,47 @@ BENCHMARK(BM_TapBatchSharded)
     ->Args({32768, 2})
     ->Args({32768, 4});
 
+// The intra-shard range split on a giant single component: one pool fans out
+// to `n_taps` sinks, so shard-level parallelism has exactly one shard to
+// offer and all scaling must come from splitting its plan into ranges.
+// workers=0 runs the sharded engine with splitting disabled (the whole-shard
+// baseline); workers>=1 split into 8 ranges on that many workers (1 = the
+// split pipeline run serially in the caller, isolating the split overhead
+// from pool parallelism).
+void BM_TapBatchGiant(benchmark::State& state) {
+  const int n_taps = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = false;
+  if (workers == 0) {
+    engine.split().min_entries = 0;
+  }
+  ShardExecutor exec(workers > 0 ? workers : 1);
+  engine.EnableSharding(&exec);
+  Reserve* pool = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "pool");
+  pool->Deposit(INT64_MAX / 2);
+  for (int i = 0; i < n_taps; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", pool->id(),
+                             r->id());
+    tap->SetConstantPower(Power::Milliwatts(1));
+    engine.Register(tap->id());
+  }
+  for (auto _ : state) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  state.SetItemsProcessed(state.iterations() * n_taps);
+}
+BENCHMARK(BM_TapBatchGiant)
+    ->ArgNames({"taps", "workers"})
+    ->Args({32768, 0})
+    ->Args({32768, 1})
+    ->Args({32768, 2})
+    ->Args({32768, 4});
+
 void BM_TapBatchWithDecay(benchmark::State& state) {
   const int n_reserves = static_cast<int>(state.range(0));
   Kernel k;

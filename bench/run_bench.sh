@@ -9,8 +9,9 @@
 #
 # --compare mode additionally diffs the fresh results against BASELINE.json
 # (bench/compare_bench.py) and exits non-zero if any gated benchmark
-# (BM_TapBatch/512, BM_TapBatch/32768, BM_DecaySparse/{4096,32768}) regressed
-# by more than 20% — the cross-PR CI gate.
+# (BM_TapBatch/512, BM_TapBatch/32768, BM_DecaySparse/{4096,32768}, and the
+# giant-component worker-scaling cases BM_TapBatchGiant/taps:32768 at 1/2/4
+# workers) regressed by more than 20% — the cross-PR CI gate.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -58,6 +59,9 @@ if [[ -n "$baseline" ]]; then
     --gate 'BM_TapBatch/32768' \
     --gate 'BM_DecaySparse/4096' \
     --gate 'BM_DecaySparse/32768' \
+    --gate 'BM_TapBatchGiant/taps:32768/workers:1' \
+    --gate 'BM_TapBatchGiant/taps:32768/workers:2' \
+    --gate 'BM_TapBatchGiant/taps:32768/workers:4' \
     --max-regression 0.20 \
     "${warn_flag[@]}"
 fi

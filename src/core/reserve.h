@@ -102,6 +102,27 @@ class Reserve final : public KernelObject {
     return take;
   }
 
+  // Where this reserve's level lives right now: the bank slot while a plan is
+  // attached, the object field otherwise. Callers that cache the cell must
+  // key the cache on the kernel mutation epoch — attachment can only change
+  // across an epoch bump, so within one epoch the cell is stable and a
+  // dereference is equivalent to level().
+  Quantity* level_cell() { return bank_ != nullptr ? bank_->level_cell(bank_slot_) : &level_; }
+
+  // ConsumeUpTo for callers holding a cached level_cell(): identical
+  // semantics (consumed_ accounting included) without re-testing bank
+  // attachment on every call. `cell` must be this reserve's current cell.
+  Quantity ConsumeUpToAt(Quantity* cell, Quantity amount) {
+    const Quantity lvl = *cell;
+    Quantity take = lvl < amount ? lvl : amount;
+    if (take < 0) {
+      take = 0;
+    }
+    *cell = lvl - take;
+    consumed_ += take;
+    return take;
+  }
+
   void Deposit(Quantity amount) {
     const Quantity lvl = level();
     const bool was_empty = lvl <= 0;

@@ -22,11 +22,32 @@ void EnergyAwareScheduler::AddThread(ObjectId thread_id) {
 
 void EnergyAwareScheduler::RefreshCache() {
   thread_cache_.resize(threads_.size());
+  energy_cache_.resize(threads_.size());
   for (size_t i = 0; i < threads_.size(); ++i) {
     thread_cache_[i] = kernel_->LookupTyped<Thread>(threads_[i]);
+    // Level cells may have moved (bank attach/detach happens only across an
+    // epoch bump); mark every entry stale so first use re-resolves. The
+    // vectors keep their capacity, so steady state never allocates.
+    energy_cache_[i].reserve_epoch = UINT64_MAX;
   }
+  last_pick_ = SIZE_MAX;
   cache_epoch_ = kernel_->mutation_epoch();
   cache_valid_ = true;
+}
+
+void EnergyAwareScheduler::RefreshThreadEnergy(ThreadEnergy& e, const Thread& t) {
+  e.active = kernel_->LookupTyped<Reserve>(t.active_reserve());
+  e.active_cell = e.active != nullptr ? e.active->level_cell() : nullptr;
+  e.reserves.clear();
+  e.cells.clear();
+  for (ObjectId rid : t.attached_reserves()) {
+    Reserve* r = kernel_->LookupTyped<Reserve>(rid);
+    if (r != nullptr) {
+      e.reserves.push_back(r);
+      e.cells.push_back(r->level_cell());
+    }
+  }
+  e.reserve_epoch = t.reserve_epoch();
 }
 
 bool EnergyAwareScheduler::HasEnergy(const Thread& t) const {
@@ -68,11 +89,25 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now,
     if (!eligible(threads_[idx])) {
       continue;
     }
-    if (!HasEnergy(*t)) {
+    // Energy check through the cached level cells: one dereference per
+    // reserve instead of an id lookup plus an attached-check branch.
+    ThreadEnergy& e = energy_cache_[idx];
+    if (e.reserve_epoch != t->reserve_epoch()) {
+      RefreshThreadEnergy(e, *t);
+    }
+    bool has_energy = false;
+    for (Quantity* cell : e.cells) {
+      if (*cell > 0) {
+        has_energy = true;
+        break;
+      }
+    }
+    if (!has_energy) {
       t->IncrementQuantaDenied();
       continue;
     }
     rr_cursor_ = (idx + 1) % n;
+    last_pick_ = idx;
     return threads_[idx];
   }
   return kInvalidObjectId;
@@ -81,6 +116,49 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now,
 Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
   Quantity remaining = ToQuantity(cost);
   Quantity drawn = 0;
+  // Hot path: the thread PickNext just returned, with a current cache. Bills
+  // through the resolved reserve pointers and cached level cells
+  // (ConsumeUpToAt) — no id lookups and no per-call bank-attachment branch.
+  if (cache_valid_ && cache_epoch_ == kernel_->mutation_epoch() &&
+      last_pick_ < thread_cache_.size() && thread_cache_[last_pick_] == &t &&
+      energy_cache_[last_pick_].reserve_epoch == t.reserve_epoch()) {
+    ThreadEnergy& e = energy_cache_[last_pick_];
+    if (e.active != nullptr) {
+      const Quantity got = e.active->ConsumeUpToAt(e.active_cell, remaining);
+      drawn += got;
+      remaining -= got;
+    }
+    if (remaining > 0) {
+      for (size_t i = 0; i < e.reserves.size() && remaining > 0; ++i) {
+        if (e.reserves[i] == e.active) {
+          continue;
+        }
+        const Quantity got = e.reserves[i]->ConsumeUpToAt(e.cells[i], remaining);
+        drawn += got;
+        remaining -= got;
+      }
+    }
+    if (remaining > 0) {
+      // Debt overflow (below) is the cold tail; resolve its sink from the
+      // cache instead of re-looking ids up.
+      Reserve* sink = e.active != nullptr ? e.active
+                      : e.reserves.empty() ? nullptr
+                                           : e.reserves.front();
+      if (sink != nullptr) {
+        const bool saved = sink->allow_debt();
+        sink->set_allow_debt(true);
+        (void)sink->Consume(remaining);
+        sink->set_allow_debt(saved);
+        drawn += remaining;
+        remaining = 0;
+      }
+    }
+    const Energy billed = ToEnergy(drawn);
+    t.AddCpuEnergy(billed);
+    return billed;
+  }
+  // Cold path (callers outside the pick loop, or a stale cache): identical
+  // semantics through the id maps.
   // Active reserve pays first.
   if (Reserve* active = kernel_->LookupTyped<Reserve>(t.active_reserve()); active != nullptr) {
     Quantity got = active->ConsumeUpTo(remaining);

@@ -51,16 +51,35 @@ class EnergyAwareScheduler : public KernelObserver {
   void OnObjectDeleted(ObjectId id, ObjectType type) override;
 
  private:
+  // Resolved reserve state for one thread: the attach-order reserve pointers
+  // and the address each one's level lives at right now (the state-bank slot
+  // while a tap-engine plan is attached, the object field otherwise). Both
+  // the eligibility scan in PickNext and the billing loop in ChargeCpu walk
+  // `cells` with plain dereferences instead of re-testing bank attachment
+  // per reserve per quantum. Valid only for the kernel mutation epoch it was
+  // filled under (RefreshCache drops it) and for the thread reserve epoch
+  // recorded here (attach/detach/active changes bump that).
+  struct ThreadEnergy {
+    uint64_t reserve_epoch = UINT64_MAX;
+    Reserve* active = nullptr;
+    Quantity* active_cell = nullptr;
+    std::vector<Reserve*> reserves;
+    std::vector<Quantity*> cells;
+  };
+
   // Re-resolves thread pointers when the kernel mutation epoch moved; the
   // steady-state pick loop then touches no id maps at all.
   void RefreshCache();
+  void RefreshThreadEnergy(ThreadEnergy& e, const Thread& t);
 
   Kernel* kernel_;
   std::vector<ObjectId> threads_;
-  std::vector<Thread*> thread_cache_;  // Parallel to threads_.
+  std::vector<Thread*> thread_cache_;      // Parallel to threads_.
+  std::vector<ThreadEnergy> energy_cache_;  // Parallel to threads_.
   uint64_t cache_epoch_ = 0;
   bool cache_valid_ = false;
   size_t rr_cursor_ = 0;
+  size_t last_pick_ = SIZE_MAX;  // Index of the last PickNext winner.
 };
 
 }  // namespace cinder

@@ -91,6 +91,12 @@ class ReserveStateBank {
   // Per-slot accessors for Reserve's write-through path.
   Quantity level(uint32_t slot) const { return level_base_[slot]; }
   void set_level(uint32_t slot, Quantity v) { level_base_[slot] = v; }
+  // Stable address of a slot's level for the epoch this bank snapshot lives:
+  // the scheduler caches these (keyed on the kernel mutation epoch) so its
+  // per-quantum billing reads levels with one dereference instead of an
+  // attached-check branch per call. Any rebuild bumps the epoch, so a cached
+  // cell can never outlive the arrays it points into.
+  Quantity* level_cell(uint32_t slot) { return level_base_ + slot; }
   Quantity deposited_total(uint32_t slot) const { return deposited_base_[slot]; }
   void set_deposited_total(uint32_t slot, Quantity v) { deposited_base_[slot] = v; }
   double carry(uint32_t slot) const { return carry_base_[slot]; }
@@ -178,6 +184,36 @@ class TapStateBank {
   QuantityRate* rate_base_ = nullptr;
   double* fraction_base_ = nullptr;
   uint8_t* flags_base_ = nullptr;
+};
+
+// Private accumulator lanes for the intra-shard range split: when a giant
+// component's tap passes run as K contiguous plan-entry ranges, each range
+// owns one slice of these arrays — lane j of a range's slice accumulates that
+// range's contribution for the j-th distinct demand group the range touches
+// (demand in pass 1, integer source outflow in pass 2). Slices are sized and
+// cache-line padded at plan build, so concurrent ranges never share a line,
+// and a fixed range-order reduction folds them into the shard's canonical
+// per-group totals between the passes. Allocation happens only at Reset
+// (plan rebuild); batches reuse the lanes, keeping steady state alloc-free.
+class SplitLaneBank {
+ public:
+  void Reset(uint32_t slots) {
+    size_ = slots;
+    demand_base_ = bank_internal::Align64(demand_, slots);
+    outflow_base_ = bank_internal::Align64(outflow_, slots);
+  }
+  void Clear() { Reset(0); }
+  uint32_t size() const { return size_; }
+
+  double* demand() { return demand_base_; }
+  Quantity* outflow() { return outflow_base_; }
+
+ private:
+  uint32_t size_ = 0;
+  std::vector<double> demand_;
+  std::vector<Quantity> outflow_;
+  double* demand_base_ = nullptr;
+  Quantity* outflow_base_ = nullptr;
 };
 
 }  // namespace cinder

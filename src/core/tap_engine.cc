@@ -29,6 +29,11 @@ TapEngine::~TapEngine() {
     }
   }
   kernel_->RemoveObserver(this);
+  // The write-back just moved every attached reserve's level cell from the
+  // bank arrays (dying with this engine) back to the objects; bump the epoch
+  // so epoch-keyed caches of those cells (the scheduler's) re-resolve instead
+  // of dereferencing freed bank storage.
+  kernel_->InvalidateCaches();
 }
 
 bool TapEngine::Register(ObjectId tap_id) {
@@ -287,6 +292,7 @@ void TapEngine::RebuildPlan() {
   // slots belong to the preceding shard (its fill covers them) and no group
   // index ever points at one.
   shard_group_begin_.assign(num_shards_ + 1, 0);
+  shard_group_count_.assign(num_shards_, 0);
   plan_src_.assign(n, 0);
   plan_dst_.assign(n, 0);
   plan_group_.assign(n, 0);
@@ -308,9 +314,21 @@ void TapEngine::RebuildPlan() {
       const uint32_t ti = shard_want_begin_[s] + (i - shard_plan_begin_[s]);
       e.tap->AttachBank(&tbank_, ti, kernel_->HandleOf(e.tap->id()));
     }
+    shard_group_count_[s] = next_group - shard_group_begin_[s];
   }
   shard_group_begin_[num_shards_] = next_group;
   group_base_ = bank_internal::Align64(group_demand_, next_group);
+  // Per-group metadata for the range split: the source's slot (group <->
+  // source is a bijection within a shard) and the entry count, so the
+  // classification step and the slow-entry accounting need no extra sweeps
+  // per batch. Cheap enough to keep for every plan.
+  group_src_slot_.assign(next_group, 0);
+  group_size_.assign(next_group, 0);
+  group_fast_.assign(next_group, 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    group_src_slot_[plan_group_[i]] = plan_src_[i];
+    ++group_size_[plan_group_[i]];
+  }
 
   scratch_.assign(num_shards_, ShardScratch{});
   stats_.assign(num_shards_, ShardStats{});
@@ -326,6 +344,8 @@ void TapEngine::RebuildPlan() {
   std::stable_sort(shard_order_.begin(), shard_order_.end(),
                    [this](uint32_t a, uint32_t b) { return stats_[a].taps > stats_[b].taps; });
 
+  BuildSplitPlan();
+
   // The plan no longer needs the resolved pointers; drop them eagerly (the
   // capacity stays for the next rebuild).
   resolved_.clear();
@@ -339,6 +359,163 @@ void TapEngine::RebuildPlan() {
   kernel_->InvalidateCaches();
   plan_epoch_ = kernel_->mutation_epoch();
   plan_valid_ = true;
+}
+
+void TapEngine::BuildSplitPlan() {
+  const auto n = static_cast<uint32_t>(plan_src_.size());
+  split_of_shard_.assign(num_shards_, kNoSplit);
+  split_shards_.clear();
+  tickets_pass1_.clear();
+  tickets_pass2_.clear();
+  split_k_ = split_.ranges;
+  const bool enabled = sharding_ && split_.min_entries > 0 && split_.ranges >= 2;
+  if (enabled) {
+    const ShardLayout& layout = partitioner_->layout();
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      const uint32_t entries = shard_plan_begin_[s + 1] - shard_plan_begin_[s];
+      // Size by the larger of the partitioner's component edge count and the
+      // live plan section: the edge count is topology-stable, so a label
+      // flap that hides a few taps cannot flip a component in and out of
+      // splitting between rebuilds.
+      uint32_t size = entries;
+      if (partitioner_->valid() && s < layout.shard_edges.size() && layout.shard_edges[s] > size) {
+        size = layout.shard_edges[s];
+      }
+      if (entries >= 2 && size >= split_.min_entries) {
+        split_of_shard_[s] = static_cast<uint32_t>(split_shards_.size());
+        split_shards_.push_back(s);
+      }
+    }
+  }
+  const auto nu = static_cast<uint32_t>(split_shards_.size());
+  if (nu == 0) {
+    // Nothing splits this epoch: RunBatch keeps the plain per-shard dispatch
+    // and none of the range machinery below is allocated or touched.
+    lanes_.Clear();
+    return;
+  }
+
+  const uint32_t k = split_k_;
+  range_bounds_.assign(static_cast<size_t>(nu) * (k + 1), 0);
+  lane_base_.assign(static_cast<size_t>(nu) * k, 0);
+  range_group_begin_.assign(static_cast<size_t>(nu) * k + 1, 0);
+  range_group_ids_.clear();
+  entry_lane_.assign(n, 0);
+  entry_dst_shared_.assign(n, 0);
+  range_scratch_.assign(static_cast<size_t>(nu) * k, RangeScratch{});
+  split_slow_entries_.assign(nu, 0);
+  // Deferred/pending slices reuse the dense plan-entry index space: range
+  // [b, e) owns [b, e) of each array, so capacity is exact and batches never
+  // push_back (the alloc-free steady-state contract).
+  deferred_slot_.assign(n, 0);
+  deferred_amt_.assign(n, 0);
+  pending_slot_.assign(n, 0);
+
+  const uint32_t total_groups = shard_group_begin_[num_shards_];
+  split_group_stamp_.assign(total_groups, 0);
+  split_group_lane_.assign(total_groups, 0);
+  split_dst_stamp_.assign(rbank_.size(), 0);
+  split_dst_first_.assign(rbank_.size(), 0);
+  split_dst_shared_.assign(rbank_.size(), 0);
+
+  constexpr uint32_t kLanePad = 64 / sizeof(double);  // Lane slots per cache line.
+  uint32_t next_lane = 0;
+  for (uint32_t u = 0; u < nu; ++u) {
+    const uint32_t s = split_shards_[u];
+    const uint32_t lo = shard_plan_begin_[s];
+    const uint32_t hi = shard_plan_begin_[s + 1];
+    const uint32_t len = hi - lo;
+    uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(u) * (k + 1);
+    bounds[0] = lo;
+    bounds[k] = hi;
+    for (uint32_t j = 1; j < k; ++j) {
+      const uint32_t even = lo + static_cast<uint32_t>(static_cast<uint64_t>(j) * len / k);
+      // Snap forward to the next demand-group run boundary within a bounded
+      // window: plans built from per-source tap creation lay each group
+      // contiguous, so a small nudge keeps most groups whole inside one
+      // range. A group longer than the window simply straddles — the lane
+      // reduction handles that exactly, at the cost of one extra lane slot.
+      uint32_t b = even;
+      while (b > lo && b < hi && b - even < 64 && plan_group_[b] == plan_group_[b - 1]) {
+        ++b;
+      }
+      if (b >= hi || plan_group_[b] == plan_group_[b - 1]) {
+        // No boundary within the window, or the group runs to the shard end
+        // (snapping to hi would just empty every later range): keep the even
+        // split and let the group straddle.
+        b = even;
+      }
+      if (b < bounds[j - 1]) {
+        b = bounds[j - 1];
+      }
+      bounds[j] = b;
+    }
+
+    // Per-range distinct-group lane map: lane j of a range's slice belongs
+    // to the j-th distinct group the range touches, in entry order.
+    for (uint32_t r = 0; r < k; ++r) {
+      const uint32_t rr = u * k + r;
+      const uint32_t stamp = rr + 1;
+      uint32_t cnt = 0;
+      range_group_begin_[rr] = static_cast<uint32_t>(range_group_ids_.size());
+      for (uint32_t i = bounds[r]; i < bounds[r + 1]; ++i) {
+        const uint32_t g = plan_group_[i];
+        if (split_group_stamp_[g] != stamp) {
+          split_group_stamp_[g] = stamp;
+          split_group_lane_[g] = cnt++;
+          range_group_ids_.push_back(g);
+        }
+        entry_lane_[i] = split_group_lane_[g];
+      }
+      lane_base_[rr] = next_lane;
+      next_lane += (cnt + kLanePad - 1) / kLanePad * kLanePad;
+    }
+
+    // Destination classification: a slot deposited into by exactly one range
+    // takes direct writes from that range in pass 2 (it owns the line); a
+    // slot two or more ranges feed gets every deposit deferred to the
+    // serial, range-ordered finalize.
+    for (uint32_t r = 0; r < k; ++r) {
+      for (uint32_t i = bounds[r]; i < bounds[r + 1]; ++i) {
+        const uint32_t d = plan_dst_[i];
+        if (split_dst_stamp_[d] != u + 1) {
+          split_dst_stamp_[d] = u + 1;
+          split_dst_first_[d] = r;
+          split_dst_shared_[d] = 0;
+        } else if (split_dst_first_[d] != r) {
+          split_dst_shared_[d] = 1;
+        }
+      }
+    }
+    for (uint32_t i = lo; i < hi; ++i) {
+      entry_dst_shared_[i] = split_dst_shared_[plan_dst_[i]];
+    }
+  }
+  range_group_begin_[static_cast<size_t>(nu) * k] =
+      static_cast<uint32_t>(range_group_ids_.size());
+  lanes_.Reset(next_lane);
+
+  // Ticket tables. Pass 1 covers every shard — range tickets for split
+  // shards, one whole-shard ticket otherwise — in the largest-first shard
+  // order; pass 2 is the split shards' ranges only. Empty tail ranges
+  // (entries < k) get no tickets.
+  for (const uint32_t s : shard_order_) {
+    const uint32_t u = split_of_shard_[s];
+    if (u == kNoSplit) {
+      tickets_pass1_.push_back(ShardTicket{s, 0, 0, ShardTicketKind::kWholeShard});
+      continue;
+    }
+    const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(u) * (k + 1);
+    uint32_t nonempty = 0;
+    for (uint32_t r = 0; r < k; ++r) {
+      if (bounds[r + 1] > bounds[r]) {
+        ++nonempty;
+        tickets_pass1_.push_back(ShardTicket{s, u, r, ShardTicketKind::kPass1Range});
+        tickets_pass2_.push_back(ShardTicket{s, u, r, ShardTicketKind::kPass2Range});
+      }
+    }
+    stats_[s].ranges = nonempty;
+  }
 }
 
 void TapEngine::RunBatch(Duration dt) {
@@ -359,11 +536,64 @@ void TapEngine::RunBatch(Duration dt) {
   // Shard sinks are the partitioner's components; without sharding there is
   // no component structure to route by, so the flag is inert.
   decay_to_root_ = decay_.to_shard_root && sharding_;
-  if (executor_ != nullptr && num_shards_ > 1) {
-    executor_->Run(this, num_shards_, shard_order_.data());
+  // Degenerate-dispatch fast path: waking the pool costs two notify/wait
+  // handshakes per phase, pure loss unless at least two busy work items can
+  // overlap. Count runnable items (a shard with plan entries or a non-empty
+  // decay list; a split shard counts its ranges) and short-circuit at two —
+  // a busy fleet exits this scan after a couple of shards, while a
+  // single-small-shard epoch (BM_TapBatchWithDecay-sized) runs serially with
+  // no executor round-trip at all. Results never depend on the choice.
+  bool use_pool = executor_ != nullptr && executor_->workers() > 1;
+  if (use_pool) {
+    uint32_t busy = 0;
+    for (uint32_t s = 0; s < num_shards_ && busy < 2; ++s) {
+      if (stats_[s].taps == 0 && decay_active_[s].empty()) {
+        continue;
+      }
+      busy += split_of_shard_[s] == kNoSplit ? 1 : stats_[s].ranges;
+    }
+    use_pool = busy >= 2;
+  }
+  if (split_shards_.empty()) {
+    if (use_pool && num_shards_ > 1) {
+      executor_->Run(this, num_shards_, shard_order_.data());
+    } else {
+      for (uint32_t s = 0; s < num_shards_; ++s) {
+        RunShard(s);
+      }
+    }
   } else {
-    for (uint32_t s = 0; s < num_shards_; ++s) {
-      RunShard(s);
+    // Range-split pipeline. Phase A: every shard's pass 1 (whole-shard
+    // tickets run their full batch; split shards run per-range demand
+    // passes into private lanes). Serial reduce: fold lanes in range order
+    // into the canonical per-group demand and classify each group. Phase B:
+    // the split shards' unconstrained entries, racing only on
+    // range-exclusive state. Serial finalize: deferred deposits, source
+    // outflows, the ordered constrained pass, and the decay slice — all in
+    // fixed shard/range order. The reduction order, not the ticket
+    // interleaving, defines every result bit.
+    const auto n1 = static_cast<uint32_t>(tickets_pass1_.size());
+    if (use_pool && n1 > 1) {
+      executor_->RunTickets(this, tickets_pass1_.data(), n1);
+    } else {
+      for (const ShardTicket& t : tickets_pass1_) {
+        RunTicket(t);
+      }
+    }
+    const auto nu = static_cast<uint32_t>(split_shards_.size());
+    for (uint32_t u = 0; u < nu; ++u) {
+      ReduceSplitDemand(u);
+    }
+    const auto n2 = static_cast<uint32_t>(tickets_pass2_.size());
+    if (use_pool && n2 > 1) {
+      executor_->RunTickets(this, tickets_pass2_.data(), n2);
+    } else {
+      for (const ShardTicket& t : tickets_pass2_) {
+        RunTicket(t);
+      }
+    }
+    for (uint32_t u = 0; u < nu; ++u) {
+      FinalizeSplitShard(u);
     }
   }
   // Deterministic merge, in shard order: engine totals, per-shard stats, and
@@ -484,6 +714,277 @@ void TapEngine::RunShard(uint32_t shard) {
     shard_flow += moved;
   }
   scratch_[shard].tap_flow = shard_flow;
+  if (decay_.enabled) {
+    DecayShard(shard);
+  }
+}
+
+void TapEngine::RunTicket(const ShardTicket& t) {
+  switch (t.kind) {
+    case ShardTicketKind::kWholeShard:
+      RunShard(t.shard);
+      break;
+    case ShardTicketKind::kPass1Range:
+      RunPass1Range(t.split, t.range);
+      break;
+    case ShardTicketKind::kPass2Range:
+      RunPass2Range(t.split, t.range);
+      break;
+  }
+}
+
+void TapEngine::RunPass1Range(uint32_t split, uint32_t range) {
+  // Pass 1 of RunShard over one contiguous plan-entry range, demand
+  // accumulated into the range's private lane slice instead of the shard's
+  // group_base_. Reads reserve levels (frozen until pass 2) and tap state,
+  // writes only this range's slice of want_/lanes — any interleaving with
+  // other tickets is race-free.
+  const uint32_t shard = split_shards_[split];
+  const uint32_t rr = split * split_k_ + range;
+  const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(split) * (split_k_ + 1);
+  const uint32_t begin = bounds[range];
+  const uint32_t end = bounds[range + 1];
+  const double dt_s = batch_dt_s_;
+  const Quantity* const lvl = rbank_.levels();
+  const double* const tcarry = tbank_.carries();
+  const QuantityRate* const trate = tbank_.rates();
+  const double* const tfrac = tbank_.fractions();
+  const uint8_t* const tflags = tbank_.flags();
+  const uint32_t* const src_slot = plan_src_.data();
+  double* const lane = lanes_.demand() + lane_base_[rr];
+  const uint32_t lane_cnt = range_group_begin_[rr + 1] - range_group_begin_[rr];
+  std::fill(lane, lane + lane_cnt, 0.0);
+  const uint32_t tb = shard_want_begin_[shard] - shard_plan_begin_[shard];
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t ti = tb + i;
+    const uint8_t f = tflags[ti];
+    if ((f & TapStateBank::kEnabled) == 0) {
+      want_base_[ti] = -1.0;  // Wants are never negative, so -1 is a safe skip mark.
+      continue;
+    }
+    double want = tcarry[ti];
+    if ((f & TapStateBank::kProportional) != 0) {
+      const Quantity level = lvl[src_slot[i]] > 0 ? lvl[src_slot[i]] : 0;
+      want += static_cast<double>(level) * tfrac[ti] * dt_s;
+    } else {
+      want += static_cast<double>(trate[ti]) * dt_s;
+    }
+    want_base_[ti] = want;
+    lane[entry_lane_[i]] += want;
+  }
+}
+
+void TapEngine::ReduceSplitDemand(uint32_t split) {
+  const uint32_t shard = split_shards_[split];
+  const uint32_t gb = shard_group_begin_[shard];
+  const uint32_t gcount = shard_group_count_[shard];
+  std::fill(group_base_ + gb, group_base_ + gb + gcount, 0.0);
+  // Range order IS the reduction order: each group's total is the sum of its
+  // lane contributions in ascending range index — a fixed function of the
+  // plan, independent of worker count and of which worker ran which range.
+  // This is the one place straddling groups' floating-point association is
+  // decided.
+  for (uint32_t r = 0; r < split_k_; ++r) {
+    const uint32_t rr = split * split_k_ + r;
+    const double* lane = lanes_.demand() + lane_base_[rr];
+    const uint32_t cb = range_group_begin_[rr];
+    const uint32_t ce = range_group_begin_[rr + 1];
+    for (uint32_t j = cb; j < ce; ++j) {
+      group_base_[range_group_ids_[j]] += lane[j - cb];
+    }
+  }
+  // Classification: a group whose total demand provably fits its source's
+  // opening level gets scale == 1 and no clamp for every entry regardless of
+  // execution order (within a shard only the group itself drains its source,
+  // and deposits only raise levels), so its entries are exactly
+  // parallelizable in pass 2. The margin absorbs the reduction's FP rounding
+  // and the int64->double conversion of the level; misclassifying toward
+  // "constrained" only routes entries to the ordered path — it can never
+  // break conservation or determinism.
+  const Quantity* const lvl = rbank_.levels();
+  uint32_t slow = 0;
+  for (uint32_t g = gb; g < gb + gcount; ++g) {
+    const double total = group_base_[g];
+    const Quantity level = lvl[group_src_slot_[g]];
+    const bool fast =
+        total == 0.0 || (level > 0 && total <= static_cast<double>(level) * (1.0 - 1e-6));
+    group_fast_[g] = fast ? 1 : 0;
+    if (!fast) {
+      slow += group_size_[g];
+    }
+  }
+  split_slow_entries_[split] = slow;
+}
+
+void TapEngine::RunPass2Range(uint32_t split, uint32_t range) {
+  // Pass 2 over one range, unconstrained (scale == 1) entries only: granted
+  // equals want, the move is the whole part, and the source clamp provably
+  // never fires, so the transfer needs no source read at all. Source
+  // outflows accumulate in the range's integer lane; deposits go directly to
+  // destinations only this range feeds, and are deferred otherwise.
+  const uint32_t shard = split_shards_[split];
+  const uint32_t rr = split * split_k_ + range;
+  const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(split) * (split_k_ + 1);
+  const uint32_t begin = bounds[range];
+  const uint32_t end = bounds[range + 1];
+  RangeScratch& rs = range_scratch_[rr];
+  rs = RangeScratch{};
+  Quantity* const lvl = rbank_.levels();
+  Quantity* const dep = rbank_.deposited();
+  uint8_t* const rflags = rbank_.flags();
+  double* const tcarry = tbank_.carries();
+  Quantity* const ttrans = tbank_.transferred();
+  const uint32_t* const dst_slot = plan_dst_.data();
+  const uint32_t* const group_of = plan_group_.data();
+  Quantity* const lane_out = lanes_.outflow() + lane_base_[rr];
+  const uint32_t lane_cnt = range_group_begin_[rr + 1] - range_group_begin_[rr];
+  std::fill(lane_out, lane_out + lane_cnt, Quantity{0});
+  const uint32_t tb = shard_want_begin_[shard] - shard_plan_begin_[shard];
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t ti = tb + i;
+    const double want = want_base_[ti];
+    if (want < 0.0 || group_fast_[group_of[i]] == 0) {
+      continue;  // Disabled, or constrained: the ordered finalize runs it.
+    }
+    const auto whole = static_cast<Quantity>(want);
+    tcarry[ti] = want - static_cast<double>(whole);
+    if (whole <= 0) {
+      continue;
+    }
+    lane_out[entry_lane_[i]] += whole;
+    const uint32_t d = dst_slot[i];
+    if (entry_dst_shared_[i] != 0) {
+      const uint32_t di = begin + rs.n_deferred++;
+      deferred_slot_[di] = d;
+      deferred_amt_[di] = whole;
+    } else {
+      // This range is the slot's only writer this phase (its flag byte
+      // included), so the deposit and the empty -> non-empty decay re-add
+      // check mirror RunShard's directly; the re-add itself is deferred
+      // because the shard's skip-list is shared across ranges.
+      const Quantity dst_level = lvl[d];
+      lvl[d] = dst_level + whole;
+      dep[d] += whole;
+      if (dst_level <= 0 && lvl[d] > 0) {
+        const uint8_t df = rflags[d];
+        if ((df & ReserveStateBank::kDecayWired) != 0 &&
+            (df & ReserveStateBank::kInDecayList) == 0) {
+          rflags[d] = df | ReserveStateBank::kInDecayList;
+          pending_slot_[begin + rs.n_pending++] = d;
+        }
+      }
+    }
+    ttrans[ti] += whole;
+    rs.tap_flow += whole;
+  }
+}
+
+void TapEngine::FinalizeSplitShard(uint32_t split) {
+  const uint32_t shard = split_shards_[split];
+  scratch_[shard] = ShardScratch{};
+  Quantity* const lvl = rbank_.levels();
+  Quantity* const dep = rbank_.deposited();
+  uint8_t* const rflags = rbank_.flags();
+  const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(split) * (split_k_ + 1);
+  std::vector<uint32_t>& active = decay_active_[shard];
+  Quantity flow = 0;
+  // Apply every effect pass 2 deferred, walking ranges in ascending index —
+  // the same fixed order as the demand reduction. Integer deposits and
+  // outflows are associative, so the totals are exact; the order pins down
+  // the observable side channels (decay-list append sequence, the
+  // empty -> non-empty flip tests) deterministically.
+  for (uint32_t r = 0; r < split_k_; ++r) {
+    const uint32_t rr = split * split_k_ + r;
+    const RangeScratch& rs = range_scratch_[rr];
+    flow += rs.tap_flow;
+    const uint32_t base = bounds[r];
+    for (uint32_t j = 0; j < rs.n_deferred; ++j) {
+      const uint32_t d = deferred_slot_[base + j];
+      const Quantity m = deferred_amt_[base + j];
+      const Quantity dst_level = lvl[d];
+      lvl[d] = dst_level + m;
+      dep[d] += m;
+      if (dst_level <= 0 && lvl[d] > 0) {
+        const uint8_t df = rflags[d];
+        if ((df & ReserveStateBank::kDecayWired) != 0 &&
+            (df & ReserveStateBank::kInDecayList) == 0) {
+          rflags[d] = df | ReserveStateBank::kInDecayList;
+          active.push_back(d);
+        }
+      }
+    }
+    for (uint32_t j = 0; j < rs.n_pending; ++j) {
+      active.push_back(pending_slot_[base + j]);
+    }
+    // Source outflows: the group's opening level provably covers the whole
+    // group's demand (that is what made these entries unconstrained), so
+    // per-range subtraction can never undershoot zero.
+    const Quantity* lane_out = lanes_.outflow() + lane_base_[rr];
+    const uint32_t cb = range_group_begin_[rr];
+    const uint32_t ce = range_group_begin_[rr + 1];
+    for (uint32_t j = cb; j < ce; ++j) {
+      const Quantity out = lane_out[j - cb];
+      if (out != 0) {
+        lvl[group_src_slot_[range_group_ids_[j]]] -= out;
+      }
+    }
+  }
+  // The constrained tail, in plan (tap-id) order with RunShard's exact pass-2
+  // body — running demand decrement, proportional scale, source clamp —
+  // against the range-order-reduced group totals. Skipped entirely when the
+  // classification found every group unconstrained (the common giant-fan-out
+  // case), keeping the serial section O(ranges + groups).
+  if (split_slow_entries_[split] > 0) {
+    const uint32_t begin = bounds[0];
+    const uint32_t end = bounds[split_k_];
+    double* const tcarry = tbank_.carries();
+    Quantity* const ttrans = tbank_.transferred();
+    const uint32_t* const src_slot = plan_src_.data();
+    const uint32_t* const dst_slot = plan_dst_.data();
+    const uint32_t* const group_of = plan_group_.data();
+    const uint32_t tb = shard_want_begin_[shard] - begin;
+    for (uint32_t i = begin; i < end; ++i) {
+      if (group_fast_[group_of[i]] != 0) {
+        continue;
+      }
+      const uint32_t ti = tb + i;
+      const double want = want_base_[ti];
+      if (want < 0.0) {
+        continue;
+      }
+      double& demand = group_base_[group_of[i]];
+      const Quantity src_level = lvl[src_slot[i]];
+      const double avail = src_level > 0 ? static_cast<double>(src_level) : 0.0;
+      const double scale = (demand > avail && demand > 0.0) ? avail / demand : 1.0;
+      const double granted = want * scale;
+      demand -= want;
+      auto whole = static_cast<Quantity>(granted);
+      tcarry[ti] = granted - static_cast<double>(whole);
+      if (whole <= 0) {
+        continue;
+      }
+      Quantity moved = src_level < whole ? src_level : whole;
+      if (moved <= 0) {
+        continue;
+      }
+      lvl[src_slot[i]] = src_level - moved;
+      const uint32_t d = dst_slot[i];
+      const Quantity dst_level = lvl[d];
+      lvl[d] = dst_level + moved;
+      dep[d] += moved;
+      if (dst_level <= 0 && lvl[d] > 0) {
+        const uint8_t df = rflags[d];
+        if ((df & ReserveStateBank::kDecayWired) != 0 &&
+            (df & ReserveStateBank::kInDecayList) == 0) {
+          rflags[d] = df | ReserveStateBank::kInDecayList;
+          active.push_back(d);
+        }
+      }
+      ttrans[ti] += moved;
+      flow += moved;
+    }
+  }
+  scratch_[shard].tap_flow = flow;
   if (decay_.enabled) {
     DecayShard(shard);
   }

@@ -49,6 +49,22 @@ namespace cinder {
 class ShardExecutor;
 class ShardPartitioner;
 
+// Intra-shard range split: a component whose plan section has at least
+// `min_entries` entries (or whose partitioner-reported edge count reaches it)
+// runs its two tap passes as `ranges` contiguous plan-entry ranges with a
+// deterministic reduction between them, so one giant component can occupy
+// every worker instead of one. The result is a fixed function of
+// (min_entries, ranges) and the plan — never of the worker count or the
+// execution interleaving — because every cross-range merge happens in range
+// order on the calling thread (see docs/PERFORMANCE.md, "Range split").
+struct SplitConfig {
+  // 0 disables splitting; shards below the threshold keep the PR-3
+  // one-work-item path and its alloc-free steady state.
+  uint32_t min_entries = 4096;
+  // Ranges per split shard. Fixed per plan; values < 2 disable splitting.
+  uint32_t ranges = 8;
+};
+
 struct DecayConfig {
   bool enabled = true;
   // Default: 50% leaks away after 10 minutes.
@@ -75,6 +91,12 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
 
   DecayConfig& decay() { return decay_; }
   const DecayConfig& decay() const { return decay_; }
+
+  // Takes effect on the next plan rebuild. Changing the values changes which
+  // deterministic schedule the engine runs (they are part of the result's
+  // definition, like the decay config), so fix them for a run.
+  SplitConfig& split() { return split_; }
+  const SplitConfig& split() const { return split_; }
 
   // Registers a tap for batch processing. Returns false if the tap does not
   // exist or its endpoints are invalid / of mismatched resource kinds.
@@ -103,6 +125,7 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   struct ShardStats {
     uint32_t taps = 0;            // Plan entries in the shard.
     uint32_t decay_reserves = 0;  // Energy reserves whose decay runs here.
+    uint32_t ranges = 1;          // Non-empty pass ranges (> 1 = split shard).
     Quantity tap_flow = 0;
     Quantity decay_flow = 0;
   };
@@ -125,6 +148,10 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
 
   // ShardTask (executor-facing): runs one shard's tap passes + decay slice.
   void RunShard(uint32_t shard) override;
+  // Dispatches whole-shard and range tickets (split shards). Range tickets
+  // touch only their range's slice of the per-entry arrays plus private
+  // lanes, so any interleaving across workers is race-free.
+  void RunTicket(const ShardTicket& t) override;
 
   // ReserveDecayListener: a reserve became non-empty (or lost its exemption)
   // mid-epoch; put it back on its shard's decay skip-list. Safe from worker
@@ -154,6 +181,22 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
     return plan_valid_ && plan_epoch_ == kernel_->mutation_epoch();
   }
   void RebuildPlan();
+  // Range-split plan: selects oversized shards, computes (group-boundary
+  // snapped) range bounds, per-range distinct-group lane maps, the
+  // shared/exclusive destination classification, and the two ticket tables.
+  void BuildSplitPlan();
+  // The split execution pipeline (see RunBatch): pass-1 ranges accumulate
+  // demand into private lanes; a serial range-order reduction folds lanes
+  // into the canonical per-group totals and classifies each group as
+  // unconstrained (scale == 1 provably) or constrained; pass-2 ranges
+  // execute the unconstrained entries with exclusive-destination writes and
+  // deferred lists; the serial finalize applies every deferred effect in
+  // range order, runs the constrained entries in plan order, and the shard's
+  // decay slice.
+  void RunPass1Range(uint32_t split, uint32_t range);
+  void ReduceSplitDemand(uint32_t split);
+  void RunPass2Range(uint32_t split, uint32_t range);
+  void FinalizeSplitShard(uint32_t split);
   // Copies bank state back into every surviving attached object and detaches
   // it (dead objects miss via their generation-tagged handles). Called before
   // every re-snapshot and from the destructor.
@@ -213,6 +256,61 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   std::vector<uint32_t> shard_sink_slot_;
   // Largest-first execution order handed to the ShardExecutor.
   std::vector<uint32_t> shard_order_;
+
+  // -- Range split (intra-shard parallel tap passes) ----------------------------
+  // Geometry is rebuilt with the plan; batches only read it. A "split slot"
+  // u densely numbers the split shards; each has exactly split_k_ ranges
+  // (possibly empty at the tail when entries < split_k_), with global
+  // plan-entry bounds in range_bounds_[u * (split_k_ + 1) ..]. Lane slices
+  // live in lanes_ at lane_base_[u * split_k_ + r], one slot per distinct
+  // demand group the range touches (range_group_begin_/range_group_ids_ is
+  // that CSR; entry_lane_ maps each plan entry to its group's lane slot).
+  // Per-range deferred work reuses the dense plan-entry index space: range
+  // [b, e) owns slices [b, e) of deferred_slot_/deferred_amt_ (shared-dst
+  // deposits, applied serially in range order) and pending_slot_ (decay
+  // list re-adds from exclusive-dst deposits).
+  static constexpr uint32_t kNoSplit = UINT32_MAX;
+  SplitConfig split_;
+  uint32_t split_k_ = 0;
+  std::vector<uint32_t> split_shards_;    // split slot -> shard index
+  std::vector<uint32_t> split_of_shard_;  // shard -> split slot or kNoSplit
+  std::vector<uint32_t> range_bounds_;
+  std::vector<uint32_t> lane_base_;
+  std::vector<uint32_t> range_group_begin_;
+  std::vector<uint32_t> range_group_ids_;
+  std::vector<uint32_t> entry_lane_;
+  std::vector<uint8_t> entry_dst_shared_;
+  SplitLaneBank lanes_;
+  std::vector<uint32_t> deferred_slot_;
+  std::vector<Quantity> deferred_amt_;
+  std::vector<uint32_t> pending_slot_;
+  // Per-range batch accumulators (flow moved, deferred/pending counts),
+  // cache-line sized like ShardScratch so concurrent ranges never false-share.
+  struct alignas(64) RangeScratch {
+    Quantity tap_flow = 0;
+    uint32_t n_deferred = 0;
+    uint32_t n_pending = 0;
+  };
+  std::vector<RangeScratch> range_scratch_;
+  // Per demand group (padded global group index space): the source's bank
+  // slot, the entry count, and the per-batch unconstrained classification
+  // (written serially in ReduceSplitDemand, read by pass-2 ranges).
+  std::vector<uint32_t> group_src_slot_;
+  std::vector<uint32_t> group_size_;
+  std::vector<uint8_t> group_fast_;
+  std::vector<uint32_t> shard_group_count_;   // Used (unpadded) groups per shard.
+  std::vector<uint32_t> split_slow_entries_;  // Per split slot, set each batch.
+  // Ticket tables handed to the executor: pass 1 covers every shard (range
+  // tickets for split shards, whole-shard tickets otherwise) in
+  // largest-first order; pass 2 covers only split shards' ranges.
+  std::vector<ShardTicket> tickets_pass1_;
+  std::vector<ShardTicket> tickets_pass2_;
+  // Rebuild-only scratch for BuildSplitPlan (stamp maps over groups/slots).
+  std::vector<uint32_t> split_group_stamp_;
+  std::vector<uint32_t> split_group_lane_;
+  std::vector<uint32_t> split_dst_stamp_;
+  std::vector<uint32_t> split_dst_first_;
+  std::vector<uint8_t> split_dst_shared_;
 
   std::vector<ShardScratch> scratch_;
   std::vector<ShardStats> stats_;

@@ -21,7 +21,7 @@ ShardExecutor::~ShardExecutor() {
 }
 
 void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32_t* order,
-                                uint64_t generation) {
+                                const ShardTicket* tickets, uint64_t generation) {
   // The ticket packs (generation << 32 | next_shard). Claiming via CAS (not
   // fetch_add) keeps a straggler from a finished batch from blindly consuming
   // a shard index that already belongs to the next batch: a stale generation
@@ -39,7 +39,11 @@ void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32
     if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_relaxed)) {
       continue;  // Lost the claim; t was reloaded.
     }
-    task->RunShard(order != nullptr ? order[s] : s);
+    if (tickets != nullptr) {
+      task->RunTicket(tickets[s]);
+    } else {
+      task->RunShard(order != nullptr ? order[s] : s);
+    }
     // acq_rel so the waiter's acquire load of done_shards_ orders every
     // shard's writes before the caller's merge step.
     if (done_shards_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards) {
@@ -56,6 +60,7 @@ void ShardExecutor::WorkerMain() {
     ShardTask* task;
     uint32_t n_shards;
     const uint32_t* order;
+    const ShardTicket* tickets;
     uint64_t generation;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -70,9 +75,30 @@ void ShardExecutor::WorkerMain() {
       task = task_;
       n_shards = n_shards_;
       order = order_;
+      tickets = tickets_;
     }
-    DrainShards(task, n_shards, order, generation);
+    DrainShards(task, n_shards, order, tickets, generation);
   }
+}
+
+void ShardExecutor::Launch(ShardTask* task, uint32_t n, const uint32_t* order,
+                           const ShardTicket* tickets) {
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = task;
+    n_shards_ = n;
+    order_ = order;
+    tickets_ = tickets;
+    generation = ++generation_;
+    done_shards_.store(0, std::memory_order_relaxed);
+    ticket_.store(generation << 32, std::memory_order_relaxed);
+  }
+  cv_start_.notify_all();
+  // The caller is worker zero.
+  DrainShards(task, n, order, tickets, generation);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_shards_.load(std::memory_order_acquire) == n; });
 }
 
 void ShardExecutor::Run(ShardTask* task, uint32_t n_shards, const uint32_t* order) {
@@ -85,21 +111,20 @@ void ShardExecutor::Run(ShardTask* task, uint32_t n_shards, const uint32_t* orde
     }
     return;
   }
-  uint64_t generation;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    task_ = task;
-    n_shards_ = n_shards;
-    order_ = order;
-    generation = ++generation_;
-    done_shards_.store(0, std::memory_order_relaxed);
-    ticket_.store(generation << 32, std::memory_order_relaxed);
+  Launch(task, n_shards, order, nullptr);
+}
+
+void ShardExecutor::RunTickets(ShardTask* task, const ShardTicket* tickets, uint32_t n) {
+  if (n == 0) {
+    return;
   }
-  cv_start_.notify_all();
-  // The caller is worker zero.
-  DrainShards(task, n_shards, order, generation);
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return done_shards_.load(std::memory_order_acquire) == n_shards; });
+  if (threads_.empty() || n == 1) {
+    for (uint32_t i = 0; i < n; ++i) {
+      task->RunTicket(tickets[i]);
+    }
+    return;
+  }
+  Launch(task, n, nullptr, tickets);
 }
 
 }  // namespace cinder

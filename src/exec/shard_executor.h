@@ -46,10 +46,20 @@ class ShardExecutor {
   // array must stay alive until Run returns.
   void Run(ShardTask* task, uint32_t n_shards, const uint32_t* order = nullptr);
 
+  // Runs task->RunTicket(tickets[i]) for every i in [0, n) — same pool, same
+  // claiming protocol, same blocking semantics as Run, but the units are
+  // heterogeneous tickets (whole shards and intra-shard ranges mixed) in the
+  // caller's priority order. The array must stay alive until this returns.
+  void RunTickets(ShardTask* task, const ShardTicket* tickets, uint32_t n);
+
  private:
   void WorkerMain();
+  // One unit-claiming loop shared by Run and RunTickets: `order`/`tickets`
+  // select the dispatch mode (exactly one is non-null, or neither for the
+  // identity shard order).
   void DrainShards(ShardTask* task, uint32_t n_shards, const uint32_t* order,
-                   uint64_t generation);
+                   const ShardTicket* tickets, uint64_t generation);
+  void Launch(ShardTask* task, uint32_t n, const uint32_t* order, const ShardTicket* tickets);
 
   const int workers_;
   std::vector<std::thread> threads_;
@@ -59,6 +69,7 @@ class ShardExecutor {
   std::condition_variable cv_done_;
   ShardTask* task_ = nullptr;
   const uint32_t* order_ = nullptr;
+  const ShardTicket* tickets_ = nullptr;
   uint32_t n_shards_ = 0;
   uint64_t generation_ = 0;
   bool stop_ = false;

@@ -76,6 +76,27 @@ const ShardLayout& ShardPartitioner::Partition(const Kernel& kernel) {
     layout_.reserve_shard[i] = layout_.reserve_shard[root];
   }
   layout_.num_shards = next_shard;
+
+  // Component sizes: reserves per shard fall out of the labels just computed;
+  // edges need one more pass over the taps (cheap — ids are already resolved
+  // by the same binary search). Both are deterministic functions of the
+  // topology, like the numbering itself.
+  layout_.shard_reserves.assign(next_shard, 0);
+  layout_.shard_edges.assign(next_shard, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (layout_.reserve_shard[i] != ShardLayout::kNoShard) {
+      ++layout_.shard_reserves[layout_.reserve_shard[i]];
+    }
+  }
+  for (ObjectId tap_id : taps) {
+    const Tap* tap = kernel.LookupTyped<Tap>(tap_id);
+    const uint32_t a = index_of(tap->source());
+    if (a == ShardLayout::kNoShard || index_of(tap->sink()) == ShardLayout::kNoShard) {
+      continue;  // Dangling endpoint: contributed no edge above either.
+    }
+    ++layout_.shard_edges[layout_.reserve_shard[a]];
+  }
+
   layout_.topology_epoch = kernel.topology_epoch();
   valid_ = true;
   return layout_;

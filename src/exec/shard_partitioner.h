@@ -31,6 +31,12 @@ struct ShardLayout {
   // the reserve ids and each reserve's shard (kNoShard if no tap touches it).
   std::vector<ObjectId> reserve_ids;
   std::vector<uint32_t> reserve_shard;
+  // Component sizes, indexed by shard: tap edges and reserves per component.
+  // The tap engine's range split keys on these — only components above the
+  // split threshold subdivide their batch passes; everything else keeps the
+  // one-work-item path (and its alloc-free steady state) untouched.
+  std::vector<uint32_t> shard_edges;
+  std::vector<uint32_t> shard_reserves;
   uint64_t topology_epoch = 0;
 
   static constexpr uint32_t kNoShard = UINT32_MAX;

@@ -9,12 +9,43 @@
 
 namespace cinder {
 
+// What one executor ticket dispatches to. kWholeShard is the PR-3 unit (one
+// component's full batch); the range kinds subdivide a single oversized
+// shard's tap passes into contiguous plan-entry ranges that touch disjoint
+// scratch lanes, so a giant component can occupy every worker instead of one.
+enum class ShardTicketKind : uint8_t {
+  kWholeShard = 0,
+  kPass1Range = 1,  // Demand pass over [range) into a private lane slice.
+  kPass2Range = 2,  // Transfer pass over the range's unconstrained entries.
+};
+
+// One claimable unit of batch work. For kWholeShard only `shard` is
+// meaningful; the range kinds carry the producer's dense split-slot index
+// (`split`, its table of split shards) and the range number within it.
+struct ShardTicket {
+  uint32_t shard = 0;
+  uint32_t split = 0;
+  uint32_t range = 0;
+  ShardTicketKind kind = ShardTicketKind::kWholeShard;
+};
+
 // One batch's worth of shardable work. RunShard(s) must touch only state
-// owned by shard `s`; it is called at most once per shard per Run.
+// owned by shard `s`; it is called at most once per shard per Run. RunTicket
+// extends the same contract to range subdivisions: a range ticket must touch
+// only per-range-exclusive state of its shard (private lanes, its slice of
+// the per-entry arrays), so any interleaving of tickets is race-free and the
+// producer's fixed-order reduction alone defines the result.
 class ShardTask {
  public:
   virtual ~ShardTask() = default;
   virtual void RunShard(uint32_t shard) = 0;
+  // Tasks that split oversized shards override this; the default forwards
+  // whole-shard tickets so existing tasks work unchanged under RunTickets.
+  virtual void RunTicket(const ShardTicket& t) {
+    if (t.kind == ShardTicketKind::kWholeShard) {
+      RunShard(t.shard);
+    }
+  }
 };
 
 }  // namespace cinder

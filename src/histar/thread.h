@@ -57,17 +57,20 @@ class Thread final : public KernelObject {
   void AttachReserve(ObjectId r) {
     if (!IsAttached(r)) {
       attached_reserves_.push_back(r);
+      ++reserve_epoch_;
     }
   }
   void DetachReserve(ObjectId r) {
     for (size_t i = 0; i < attached_reserves_.size(); ++i) {
       if (attached_reserves_[i] == r) {
         attached_reserves_.erase(attached_reserves_.begin() + static_cast<ptrdiff_t>(i));
+        ++reserve_epoch_;
         break;
       }
     }
     if (active_reserve_ == r) {
       active_reserve_ = attached_reserves_.empty() ? kInvalidObjectId : attached_reserves_[0];
+      ++reserve_epoch_;
     }
   }
   bool IsAttached(ObjectId r) const {
@@ -82,8 +85,16 @@ class Thread final : public KernelObject {
   ObjectId active_reserve() const { return active_reserve_; }
   void set_active_reserve(ObjectId r) {
     AttachReserve(r);
-    active_reserve_ = r;
+    if (active_reserve_ != r) {
+      active_reserve_ = r;
+      ++reserve_epoch_;
+    }
   }
+  // Bumped whenever the attach list or the active reserve changes. The
+  // scheduler keys its per-thread resolved-reserve cache on this (plus the
+  // kernel mutation epoch): attach/detach are cold syscalls, so they pay a
+  // counter bump here instead of a kernel-wide cache invalidation.
+  uint64_t reserve_epoch() const { return reserve_epoch_; }
 
   // -- Domains ---------------------------------------------------------------
   // `home_address_space` is the thread's own process; `current_domain` is the
@@ -113,6 +124,7 @@ class Thread final : public KernelObject {
   CategorySet privileges_;
   std::vector<ObjectId> attached_reserves_;
   ObjectId active_reserve_ = kInvalidObjectId;
+  uint64_t reserve_epoch_ = 0;
   ObjectId home_address_space_ = kInvalidObjectId;
   ObjectId current_domain_ = kInvalidObjectId;
   Energy cpu_energy_billed_;

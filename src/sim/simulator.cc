@@ -22,6 +22,8 @@ Simulator::Simulator(SimConfig config)
   tap_engine_->decay().enabled = config_.decay_enabled;
   tap_engine_->decay().half_life = config_.decay_half_life;
   tap_engine_->decay().to_shard_root = config_.decay_to_shard_root;
+  tap_engine_->split().min_entries = config_.tap_split_threshold;
+  tap_engine_->split().ranges = config_.tap_split_ranges;
   if (config_.tap_workers >= 1) {
     shard_executor_ = std::make_unique<ShardExecutor>(config_.tap_workers);
     tap_engine_->EnableSharding(shard_executor_.get());

@@ -54,6 +54,14 @@ struct SimConfig {
   // (serial) execution even when tap_workers is 0, since the sinks are the
   // partitioner's components.
   bool decay_to_shard_root = false;
+  // Intra-shard range splitting: shards whose plan section (or edge count)
+  // reaches the threshold have their tap batch split into `tap_split_ranges`
+  // contiguous ranges that run as independent worker tickets, with a
+  // fixed-order reduction so flows stay bit-identical at any worker count.
+  // Threshold 0 (or ranges < 2) disables splitting. Only meaningful with
+  // tap_workers >= 1.
+  uint32_t tap_split_threshold = 4096;
+  uint32_t tap_split_ranges = 8;
 };
 
 class Simulator final : public PowerSource {

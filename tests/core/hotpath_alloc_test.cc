@@ -154,6 +154,67 @@ TEST(HotPathAllocTest, ShardedSteadyStateIsAllocationFree) {
   EXPECT_GT(engine.total_decay_flow(), 0);
 }
 
+TEST(HotPathAllocTest, RangeSplitSteadyStateIsAllocationFree) {
+  // Range-split batches: the deferred/pending slices, lanes, and ticket
+  // tables are all sized at plan build, so a split shard's four-phase
+  // pipeline — constrained tail and decay-list churn included — must run
+  // alloc-free after the first batch.
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  ShardExecutor exec(2);
+  TapEngine engine(&k, battery->id());
+  engine.split().min_entries = 8;
+  engine.split().ranges = 4;
+  engine.EnableSharding(&exec);
+  engine.decay().enabled = true;
+  Reserve* pool = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "pool");
+  pool->Deposit(INT64_MAX / 16);
+  // One oversized component: rich pool feeding 8 hubs (one poor, so the
+  // constrained finalize tail stays live) which fan out to 4 leaves each,
+  // with shared destinations via back-taps into the pool.
+  for (int h = 0; h < 8; ++h) {
+    Reserve* hub = k.Create<Reserve>(
+        k.root_container_id(), Label(Level::k1), "hub");
+    if (h != 3) {
+      hub->Deposit(INT64_MAX / 64);
+    }
+    Tap* feed = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "feed",
+                              pool->id(), hub->id());
+    feed->SetConstantPower(Power::Milliwatts(2));
+    ASSERT_TRUE(engine.Register(feed->id()));
+    for (int i = 0; i < 4; ++i) {
+      Reserve* r = k.Create<Reserve>(
+          k.root_container_id(), Label(Level::k1), "r");
+      Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t",
+                               hub->id(), i == 0 ? pool->id() : r->id());
+      if (i % 2 == 0) {
+        tap->SetConstantPower(Power::Milliwatts(1));
+      } else {
+        tap->SetProportionalRate(0.01);
+      }
+      ASSERT_TRUE(engine.Register(tap->id()));
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  bool any_split = false;
+  for (const auto& s : engine.shard_stats()) {
+    any_split = any_split || s.ranges > 1;
+  }
+  ASSERT_TRUE(any_split);
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_GT(engine.total_tap_flow(), 0);
+  EXPECT_GT(engine.total_decay_flow(), 0);
+}
+
 TEST(HotPathAllocTest, KernelLookupAndObjectsOfTypeAreAllocationFree) {
   Kernel k;
   Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/core/tap_engine.h"
+
 namespace cinder {
 namespace {
 
@@ -160,6 +164,86 @@ TEST_F(SchedulerTest, AddThreadIsIdempotent) {
   Thread* t = NewThread("t");
   sched_.AddThread(t->id());
   EXPECT_EQ(sched_.threads().size(), 1u);
+}
+
+// The scheduler's cached level cells must follow a reserve's level into the
+// tap engine's state bank while a flow plan is live, and back onto the object
+// when the engine dies — billing through a stale cell would corrupt levels.
+TEST_F(SchedulerTest, CachedCellsTrackBankAttachmentAcrossEngineLifetime) {
+  Thread* t = NewThread("t");
+  Reserve* src = NewReserve("src", Energy::Millijoules(500));
+  Reserve* app = NewReserve("app", Energy::Millijoules(10));
+  t->set_active_reserve(app->id());
+
+  auto engine = std::make_unique<TapEngine>(&k_, src->id());
+  engine->decay().enabled = false;  // Exact-level assertions below.
+  Tap* tap = k_.Create<Tap>(k_.root_container_id(), Label(Level::k1), "feed", src->id(),
+                            app->id());
+  tap->SetConstantPower(Power::Milliwatts(1));
+  ASSERT_TRUE(engine->Register(tap->id()));
+  engine->RunBatch(Duration::Millis(10));  // Plan live: app's level is banked.
+  ASSERT_TRUE(app->bank_attached());
+
+  // Pick (fills the cell cache), then bill through it repeatedly while taps
+  // keep depositing through the bank between quanta.
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+  const Quantity before = app->level();
+  Energy billed = sched_.ChargeCpu(*t, Energy::Microjoules(137));
+  EXPECT_EQ(billed, Energy::Microjoules(137));
+  EXPECT_EQ(app->level(), before - ToQuantity(Energy::Microjoules(137)));
+  engine->RunBatch(Duration::Millis(10));
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+  (void)sched_.ChargeCpu(*t, Energy::Microjoules(41));
+  const Quantity banked_level = app->level();
+  EXPECT_EQ(app->total_consumed(), ToQuantity(Energy::Microjoules(137 + 41)));
+
+  // Engine destruction writes the bank back and invalidates caches: the next
+  // pick/charge must resolve the object field, not the freed bank storage.
+  engine.reset();
+  ASSERT_FALSE(app->bank_attached());
+  EXPECT_EQ(app->level(), banked_level);
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+  (void)sched_.ChargeCpu(*t, Energy::Microjoules(13));
+  EXPECT_EQ(app->level(), banked_level - ToQuantity(Energy::Microjoules(13)));
+  EXPECT_EQ(app->total_consumed(), ToQuantity(Energy::Microjoules(137 + 41 + 13)));
+}
+
+// Reserve-set changes between a pick and its charge (a new attachment, an
+// active-reserve flip) bump the thread's reserve epoch, so the charge must
+// see the new set — not bill through the cached one.
+TEST_F(SchedulerTest, ChargeSeesReserveChangesAfterPick) {
+  Thread* t = NewThread("t");
+  Reserve* a = NewReserve("a", Energy::Microjoules(100));
+  Reserve* b = NewReserve("b", Energy::Microjoules(100));
+  Reserve* backup = NewReserve("backup", Energy::Microjoules(100));
+  t->set_active_reserve(a->id());
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+
+  // Flip the active reserve after the pick. No kernel object was created or
+  // deleted, so only the thread's reserve epoch says the cache is stale — b
+  // must pay first now.
+  t->set_active_reserve(b->id());
+  (void)sched_.ChargeCpu(*t, Energy::Microjoules(40));
+  EXPECT_EQ(b->energy(), Energy::Microjoules(60));
+  EXPECT_EQ(a->energy(), Energy::Microjoules(100));
+
+  // Attach a (pre-existing) backup after the next pick, kernel epoch again
+  // unchanged. The spill goes in attach order: a (set_active_reserve
+  // attached it) before the new backup.
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+  t->AttachReserve(backup->id());
+  (void)sched_.ChargeCpu(*t, Energy::Microjoules(90));
+  EXPECT_EQ(b->level(), 0);
+  EXPECT_EQ(a->energy(), Energy::Microjoules(70));
+  EXPECT_EQ(backup->energy(), Energy::Microjoules(100));
+
+  // Detach a after one more pick: the spill must now skip it and land on
+  // backup.
+  ASSERT_EQ(sched_.PickNext(SimTime::Zero()), t->id());
+  t->DetachReserve(a->id());
+  (void)sched_.ChargeCpu(*t, Energy::Microjoules(90));
+  EXPECT_EQ(a->energy(), Energy::Microjoules(70));
+  EXPECT_EQ(backup->energy(), Energy::Microjoules(10));
 }
 
 }  // namespace

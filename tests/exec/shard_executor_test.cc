@@ -103,6 +103,84 @@ TEST(ShardExecutorTest, OrderedRunStillRunsEveryShardExactlyOnceOnAPool) {
   }
 }
 
+// Tallies tickets by kind: whole-shard tickets count the shard, range
+// tickets count (split, range) cells.
+class TicketTask : public ShardTask {
+ public:
+  TicketTask(uint32_t shards, uint32_t cells) : shards_(shards), cells_(cells) {}
+  void RunShard(uint32_t shard) override {
+    shards_[shard].fetch_add(1, std::memory_order_relaxed);
+  }
+  void RunTicket(const ShardTicket& t) override {
+    if (t.kind == ShardTicketKind::kWholeShard) {
+      RunShard(t.shard);
+    } else {
+      cells_[t.split * 8 + t.range].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  uint32_t shard_count(uint32_t s) const { return shards_[s].load(std::memory_order_relaxed); }
+  uint32_t cell_count(uint32_t c) const { return cells_[c].load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::atomic<uint32_t>> shards_;
+  std::vector<std::atomic<uint32_t>> cells_;
+};
+
+TEST(ShardExecutorTest, RunTicketsDispatchesMixedTicketKindsExactlyOnce) {
+  // A mixed table — whole-shard tickets interleaved with pass-1 range
+  // tickets for two split shards — across many back-to-back batches on a
+  // pool, mirroring how the tap engine's phase A dispatches.
+  ShardExecutor exec(4);
+  std::vector<ShardTicket> tickets;
+  tickets.push_back(ShardTicket{0, 0, 0, ShardTicketKind::kWholeShard});
+  for (uint32_t r = 0; r < 8; ++r) {
+    tickets.push_back(ShardTicket{1, 0, r, ShardTicketKind::kPass1Range});
+  }
+  tickets.push_back(ShardTicket{2, 0, 0, ShardTicketKind::kWholeShard});
+  for (uint32_t r = 0; r < 3; ++r) {
+    tickets.push_back(ShardTicket{3, 1, r, ShardTicketKind::kPass2Range});
+  }
+  TicketTask task(4, 16);
+  const int kBatches = 1000;
+  for (int i = 0; i < kBatches; ++i) {
+    exec.RunTickets(&task, tickets.data(), static_cast<uint32_t>(tickets.size()));
+  }
+  EXPECT_EQ(task.shard_count(0), static_cast<uint32_t>(kBatches));
+  EXPECT_EQ(task.shard_count(2), static_cast<uint32_t>(kBatches));
+  EXPECT_EQ(task.shard_count(1), 0u);
+  EXPECT_EQ(task.shard_count(3), 0u);
+  for (uint32_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(task.cell_count(r), static_cast<uint32_t>(kBatches)) << "split 0 range " << r;
+  }
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(task.cell_count(8 + r), static_cast<uint32_t>(kBatches)) << "split 1 range " << r;
+  }
+}
+
+TEST(ShardExecutorTest, RunTicketsSingleTicketRunsInCaller) {
+  ShardExecutor exec(4);
+  const ShardTicket one{5, 0, 0, ShardTicketKind::kWholeShard};
+  TicketTask task(6, 1);
+  exec.RunTickets(&task, &one, 1);
+  EXPECT_EQ(task.shard_count(5), 1u);
+}
+
+TEST(ShardExecutorTest, BaseTaskIgnoresRangeTickets) {
+  // A ShardTask that never overrides RunTicket must still run whole-shard
+  // tickets (and safely ignore range kinds it does not understand).
+  ShardExecutor exec(1);
+  std::vector<ShardTicket> tickets = {
+      ShardTicket{0, 0, 0, ShardTicketKind::kWholeShard},
+      ShardTicket{1, 0, 0, ShardTicketKind::kPass1Range},
+      ShardTicket{2, 0, 0, ShardTicketKind::kWholeShard},
+  };
+  CountingTask task(3);
+  exec.RunTickets(&task, tickets.data(), 3);
+  EXPECT_EQ(task.count(0), 1u);
+  EXPECT_EQ(task.count(1), 0u);
+  EXPECT_EQ(task.count(2), 1u);
+}
+
 TEST(ShardExecutorTest, MoreShardsThanWorkersAndViceVersa) {
   ShardExecutor exec(8);
   CountingTask wide(64);
