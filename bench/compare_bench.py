@@ -7,9 +7,18 @@ non-zero if any --gate benchmark regressed by more than --max-regression
 on shared CI runners are noisy, so the hard gate is reserved for the
 benchmarks we explicitly track (BM_TapBatch/512 per the roadmap).
 
+Also supports within-run ratio gates (--relative-gate NAME:BASE:MAX): the
+gate fails when NAME's real_time exceeds BASE's by more than MAX (both taken
+from the *current* file, so the comparison is machine-independent and stays
+a hard gate even under --warn-only). This is how CI holds the telemetry-on
+tap batch (BM_TapBatchTelemetry/32768) within 2% of the telemetry-off one.
+With only relative gates to check, --baseline may be omitted.
+
 Usage:
   compare_bench.py --baseline OLD.json --current NEW.json \
       --gate BM_TapBatch/512 [--gate ...] [--max-regression 0.20]
+  compare_bench.py --current NEW.json \
+      --relative-gate BM_TapBatchTelemetry/32768:BM_TapBatch/32768:0.02
 """
 
 import argparse
@@ -17,32 +26,95 @@ import json
 import sys
 
 
-def load_times(path):
+def load_times(path, field="real_time"):
+    """Maps benchmark name -> (time, unit) for the given time field.
+
+    When a run used --benchmark_repetitions, the median aggregate is
+    preferred over any single repetition: gate decisions on one iteration
+    of a noisy benchmark are coin flips, medians are not. The aggregate is
+    keyed by its run_name (the plain benchmark name) so gates keyed on
+    plain names work with and without repetitions.
+    """
     with open(path) as f:
         data = json.load(f)
     times = {}
+    medians = {}
     for b in data.get("benchmarks", []):
-        if b.get("run_type", "iteration") != "iteration":
-            continue  # Skip aggregates (mean/median/stddev).
-        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        run_type = b.get("run_type", "iteration")
+        entry = (float(b[field]), b.get("time_unit", "ns"))
+        if run_type == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b["name"])] = entry
+            continue
+        times[b["name"]] = entry
+    times.update(medians)
     return times
+
+
+def check_relative_gates(gates, times):
+    """Within-run ratio gates: NAME:BASE:MAX_OVERHEAD against one file."""
+    ok = True
+    for spec in gates:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(f"compare_bench: bad --relative-gate {spec!r} "
+                  f"(want NAME:BASE:MAX_OVERHEAD)", file=sys.stderr)
+            ok = False
+            continue
+        name, base, budget = parts[0], parts[1], float(parts[2])
+        if name not in times or base not in times:
+            missing = name if name not in times else base
+            print(f"compare_bench: relative gate {spec}: {missing} missing "
+                  f"from current run", file=sys.stderr)
+            ok = False
+            continue
+        (t, u), (base_t, base_u) = times[name], times[base]
+        if u != base_u or base_t <= 0:
+            print(f"compare_bench: relative gate {spec}: not comparable",
+                  file=sys.stderr)
+            ok = False
+            continue
+        overhead = t / base_t - 1.0
+        verdict = "OK" if overhead <= budget else "FAIL"
+        print(f"relative gate: {name} vs {base}: {overhead:+.2%} overhead "
+              f"(allowed {budget:.0%}) {verdict}")
+        ok = ok and overhead <= budget
+    return ok
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--baseline",
+                    help="prior run to diff against; optional when only "
+                         "--relative-gate checks are wanted")
     ap.add_argument("--current", required=True)
     ap.add_argument("--gate", action="append", default=[],
                     help="benchmark name that hard-fails on regression")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="allowed relative real_time increase for gated benchmarks")
+    ap.add_argument("--relative-gate", action="append", default=[],
+                    metavar="NAME:BASE:MAX_OVERHEAD",
+                    help="within-run ratio gate on the current file; immune "
+                         "to --warn-only (same machine by construction)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report gate violations but exit 0 (for baselines from "
                          "a different machine, where absolute times don't compare)")
     args = ap.parse_args()
 
-    old = load_times(args.baseline)
     new = load_times(args.current)
+    # Relative gates compare cpu_time, not real_time: on shared 1-vCPU
+    # runners, real_time includes preemption by unrelated processes, which
+    # dwarfs the <2% overheads these gates police. cpu_time does not.
+    relative_ok = check_relative_gates(
+        args.relative_gate, load_times(args.current, field="cpu_time"))
+
+    if args.baseline is None:
+        if args.gate:
+            print("compare_bench: --gate requires --baseline", file=sys.stderr)
+            return 1
+        return 0 if relative_ok else 1
+
+    old = load_times(args.baseline)
     common = sorted(set(old) & set(new))
     if not common:
         # With gates requested, an empty intersection means the gate silently
@@ -50,9 +122,11 @@ def main():
         if args.gate:
             print("compare_bench: no common benchmarks but gates requested; "
                   "refusing to pass", file=sys.stderr)
-            return 0 if args.warn_only else 1
-        print("compare_bench: no common benchmarks; skipping comparison")
-        return 0
+            if not args.warn_only:
+                return 1
+        else:
+            print("compare_bench: no common benchmarks; skipping comparison")
+        return 0 if relative_ok else 1
 
     width = max(len(n) for n in common)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}")
@@ -97,10 +171,10 @@ def main():
                   f"(> {1.0 + args.max_regression:.2f}x allowed)", file=sys.stderr)
         if args.warn_only:
             print("compare_bench: --warn-only set; not failing", file=sys.stderr)
-            return 0
+            return 0 if relative_ok else 1
         return 1
     print("compare_bench: gated benchmarks within threshold")
-    return 0
+    return 0 if relative_ok else 1
 
 
 if __name__ == "__main__":

@@ -5,11 +5,19 @@
 // taps is a tight loop, not N context switches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <vector>
+
 #include "src/core/syscalls.h"
 #include "src/core/tap_engine.h"
 #include "src/exec/shard_executor.h"
 #include "src/histar/kernel.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/trace_domain.h"
 
 namespace cinder {
 namespace {
@@ -71,6 +79,37 @@ void BM_TapBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_taps);
 }
 BENCHMARK(BM_TapBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+
+// BM_TapBatch with always-on telemetry attached (default record mask,
+// bounded spill, per-batch flush). Tracked as an ordinary benchmark for the
+// cross-PR trend; the <2% overhead CI gate is measured by the paired
+// --telemetry_gate probe below, not by comparing the two benchmarks' own
+// timings (sequential runs drift too much to resolve 2%).
+void BM_TapBatchTelemetry(benchmark::State& state) {
+  const int n_taps = static_cast<int>(state.range(0));
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = false;
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  TraceDomain domain(cfg);
+  engine.set_telemetry(&domain);
+  for (int i = 0; i < n_taps; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", battery->id(),
+                             r->id());
+    tap->SetConstantPower(Power::Milliwatts(1));
+    engine.Register(tap->id());
+  }
+  for (auto _ : state) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  state.SetItemsProcessed(state.iterations() * n_taps);
+}
+BENCHMARK(BM_TapBatchTelemetry)->Arg(512)->Arg(32768);
 
 // The sharded path on a fleet-like topology: `n_taps` taps spread over 16
 // disconnected components (one source pool each). arg1 is the worker count;
@@ -300,5 +339,130 @@ void BM_ObjectCreateDelete(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectCreateDelete);
 
+// --- Paired telemetry-overhead probe ---------------------------------------
+// `micro_kernel_ops --telemetry_gate=OUT.json` measures the telemetry-on tap
+// batch against the telemetry-off one by alternating the two engines in
+// ~100-batch blocks on one thread, then writes the paired per-batch medians
+// in google-benchmark JSON shape under the usual names, so
+// compare_bench.py --relative-gate consumes the file unchanged.
+//
+// Why not just compare the two benchmarks above? On shared/virtualized
+// runners, CPU steal and frequency drift move *sequential* measurements by
+// ±10% — two orders of magnitude above the real overhead (<0.5%) and far
+// above the 2% budget the gate enforces. Alternating at ~25ms granularity
+// exposes both engines to the same machine conditions, which cancels the
+// drift; repeated probe runs agree to well under 1%.
+
+struct TelemetryGateRig {
+  Kernel k;
+  TraceDomain domain;
+  std::unique_ptr<TapEngine> engine;
+
+  explicit TelemetryGateRig(bool telemetry_on, int n_taps) {
+    Reserve* battery =
+        k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+    battery->set_decay_exempt(true);
+    battery->Deposit(INT64_MAX / 2);
+    engine = std::make_unique<TapEngine>(&k, battery->id());
+    engine->decay().enabled = false;
+    TelemetryConfig cfg;
+    cfg.enabled = telemetry_on;
+    domain.Configure(cfg);
+    engine->set_telemetry(&domain);
+    for (int i = 0; i < n_taps; ++i) {
+      Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+      Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t",
+                               battery->id(), r->id());
+      tap->SetConstantPower(Power::Milliwatts(1));
+      engine->Register(tap->id());
+    }
+  }
+
+  // Thread CPU time for one block of batches, in ns. Thread time (rather
+  // than wall time) additionally excludes preemption by other processes.
+  double TimeBlock(int batches) {
+    timespec t0, t1;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+    for (int i = 0; i < batches; ++i) engine->RunBatch(Duration::Millis(10));
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+    return (t1.tv_sec - t0.tv_sec) * 1e9 + (t1.tv_nsec - t0.tv_nsec);
+  }
+};
+
+int RunTelemetryGate(const char* out_path) {
+  constexpr int kTaps = 32768;  // Matches BM_TapBatch*/32768.
+  constexpr int kBlockBatches = 100;
+  constexpr int kRounds = 60;
+  TelemetryGateRig off(false, kTaps);
+  TelemetryGateRig on(true, kTaps);
+  off.TimeBlock(20);  // Warm up allocator, caches, and tap order.
+  on.TimeBlock(20);
+  std::vector<double> t_off, t_on;
+  for (int round = 0; round < kRounds; ++round) {
+    // Alternate which engine goes first so within-round drift (the second
+    // block always runs on a slightly different machine state than the
+    // first) cancels instead of biasing one side.
+    if (round % 2 == 0) {
+      t_off.push_back(off.TimeBlock(kBlockBatches));
+      t_on.push_back(on.TimeBlock(kBlockBatches));
+    } else {
+      t_on.push_back(on.TimeBlock(kBlockBatches));
+      t_off.push_back(off.TimeBlock(kBlockBatches));
+    }
+  }
+  // The two blocks of one round are adjacent in time, so machine-state
+  // drift hits them near-identically: the per-round ratio cancels it, and
+  // the median of per-round ratios is far tighter than the ratio of the
+  // two independent medians.
+  std::vector<double> ratios;
+  for (int round = 0; round < kRounds; ++round) {
+    ratios.push_back(t_on[round] / t_off[round]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead = ratios[kRounds / 2] - 1.0;
+  std::sort(t_off.begin(), t_off.end());
+  const double off_ns = t_off[kRounds / 2] / kBlockBatches;
+  const double on_ns = off_ns * (1.0 + overhead);
+  std::fprintf(stderr,
+               "telemetry gate probe: off %.0f ns/batch, paired overhead "
+               "%+.2f%%\n",
+               off_ns, 100.0 * overhead);
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror(out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\"telemetry_gate_probe\": true},\n"
+               "  \"benchmarks\": [\n"
+               "    {\"name\": \"BM_TapBatch/32768\", \"run_type\": \"iteration\",\n"
+               "     \"iterations\": %d, \"real_time\": %.1f, \"cpu_time\": %.1f,\n"
+               "     \"time_unit\": \"ns\"},\n"
+               "    {\"name\": \"BM_TapBatchTelemetry/32768\", \"run_type\": \"iteration\",\n"
+               "     \"iterations\": %d, \"real_time\": %.1f, \"cpu_time\": %.1f,\n"
+               "     \"time_unit\": \"ns\"}\n"
+               "  ]\n"
+               "}\n",
+               kRounds * kBlockBatches, off_ns, off_ns, kRounds * kBlockBatches,
+               on_ns, on_ns);
+  std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 }  // namespace cinder
+
+int main(int argc, char** argv) {
+  constexpr char kGateFlag[] = "--telemetry_gate=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kGateFlag, sizeof(kGateFlag) - 1) == 0) {
+      return cinder::RunTelemetryGate(argv[i] + sizeof(kGateFlag) - 1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,17 +1,22 @@
 // Fleet-scale sharded simulation: hundreds of simulated phones in one
 // kernel, each an isolated reserve/tap component, with tap batches running
-// on the shard executor. Demonstrates the src/exec layer end to end: the
-// partitioner discovers one shard per phone, the worker pool runs the
-// batches, and per-shard stats come back through TapEngine::shard_stats().
+// on the shard executor. Demonstrates the src/exec layer end to end — and,
+// since PR 7, the telemetry layer: the engine streams per-shard trace
+// records into per-worker rings, and every statistic printed below is
+// reconstructed offline through TraceReader queries instead of reaching
+// into the engine's counters. The trace totals must match the engine
+// bit-for-bit; the example exits nonzero if they ever diverge.
 //
 // Each phone gets a budget pool (seeded once, decaying like any hoard), a
 // foreground app fed at a constant rate, a background app on a proportional
 // tap, and a backward tap returning unused foreground energy — a miniature
 // of the paper's Figure 6 configuration, times N. Decay leakage goes back to
-// each phone's own pool (SimConfig.decay_to_shard_root) instead of the global
-// battery: one phone's hoarding never subsidizes another.
+// each phone's own pool (ExecConfig::decay_to_shard_root) instead of the
+// global battery: one phone's hoarding never subsidizes another.
 //
-// Build & run:  ./build/example_fleet [phones] [workers] [sim_seconds]
+// Build & run:  ./build/example_fleet [phones] [workers] [sim_seconds] [trace_file]
+// With a trace_file argument the raw records are also written to disk for
+// the offline tool:  ./build/energytrace <trace_file> --timeline 0
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +25,7 @@
 #include "src/base/units.h"
 #include "src/core/tap_engine.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/trace_reader.h"
 
 using namespace cinder;
 
@@ -59,11 +65,17 @@ int main(int argc, char** argv) {
   const int phones = argc > 1 ? std::atoi(argv[1]) : 200;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const int sim_seconds = argc > 3 ? std::atoi(argv[3]) : 30;
+  const char* trace_file = argc > 4 ? argv[4] : nullptr;
 
   SimConfig cfg;
   cfg.decay_half_life = Duration::Minutes(2);  // Visible decay in a short run.
-  cfg.tap_workers = workers;
-  cfg.decay_to_shard_root = true;  // Leakage returns to each phone's pool.
+  cfg.exec.tap_workers = workers;
+  cfg.exec.decay_to_shard_root = true;  // Leakage returns to each phone's pool.
+  cfg.telemetry.enabled = true;
+  // Keep the whole run: the bit-for-bit totals check below needs a lossless
+  // stream, and a fleet run at the default args retains a few million
+  // 32-byte records — let the spill grow instead of dropping the oldest.
+  cfg.telemetry.spill_grow = true;
   Simulator sim(cfg);
   for (int p = 0; p < phones; ++p) {
     BuildPhone(sim, p);
@@ -81,31 +93,81 @@ int main(int argc, char** argv) {
   std::printf("shards: %u (expected %d), wall time %lld ms\n", taps.shard_count(), phones,
               static_cast<long long>(wall_ms));
 
-  // Per-shard stats for the first few phones plus a fleet-wide total.
-  const auto& stats = taps.shard_stats();
-  TableWriter table("Per-shard tap batches (first 8 shards)");
-  table.SetColumns({"shard", "taps", "decay reserves", "tap flow (mJ)", "decay flow (mJ)"});
-  const size_t show = stats.size() < 8 ? stats.size() : 8;
+  // Everything below comes from the trace stream, not the engine. Flush the
+  // scheduler records written since the last batch, then snapshot.
+  sim.telemetry().FlushFrame();
+  TraceReader reader = TraceReader::FromDomain(sim.telemetry());
+  // (Record counts include kDispatch, which only pooled execution emits, so
+  // the line prints only the counts that are invariant across worker counts.)
+  std::printf("telemetry: %llu frames, %llu dropped records\n",
+              static_cast<unsigned long long>(reader.frames()),
+              static_cast<unsigned long long>(reader.dropped()));
+
+  // Per-shard tap flow attribution for the first few phones. The plan
+  // columns (taps, decay reserves) come from kPlanShard records, the flows
+  // from kShardBatch — the engine's shard_stats() is no longer consulted.
+  const auto shards = reader.FlowByShard();
+  TableWriter table("Per-shard flow from telemetry (first 8 shards)");
+  table.SetColumns({"shard", "taps", "decay reserves", "batches", "tap flow (mJ)",
+                    "decay flow (mJ)"});
+  const size_t show = shards.size() < 8 ? shards.size() : 8;
   for (size_t s = 0; s < show; ++s) {
-    table.AddRow({std::to_string(s), std::to_string(stats[s].taps),
-                  std::to_string(stats[s].decay_reserves),
-                  TableWriter::Num(ToEnergy(stats[s].tap_flow).millijoules_f()),
-                  TableWriter::Num(ToEnergy(stats[s].decay_flow).millijoules_f())});
+    table.AddRow({std::to_string(shards[s].shard), std::to_string(shards[s].taps),
+                  std::to_string(shards[s].decay_reserves),
+                  std::to_string(shards[s].batches),
+                  TableWriter::Num(ToEnergy(shards[s].tap_flow).millijoules_f()),
+                  TableWriter::Num(ToEnergy(shards[s].decay_flow).millijoules_f())});
   }
   table.Print();
 
+  // Per-phone energy timeline, reconstructed for phone 0: each point is one
+  // tap batch (one trace frame), with running cumulative flows.
+  const auto timeline = reader.ShardTimeline(0);
+  if (!timeline.empty()) {
+    const auto& first = timeline.front();
+    const auto& last = timeline.back();
+    std::printf("\nphone 0 timeline: %zu batches, t=%.0f..%.0f ms, cumulative tap flow %s\n",
+                timeline.size(), static_cast<double>(first.time_us) / 1e3,
+                static_cast<double>(last.time_us) / 1e3,
+                ToEnergy(last.cumulative_tap_flow).ToString().c_str());
+  }
+
   Quantity tap_flow = 0;
-  Quantity decay_flow = 0;
   uint32_t tap_count = 0;
-  for (const auto& s : stats) {
+  for (const auto& s : shards) {
     tap_flow += s.tap_flow;
-    decay_flow += s.decay_flow;
     tap_count += s.taps;
   }
   std::printf("\nfleet totals: %u taps, tap flow %s, decay flow %s\n", tap_count,
-              ToEnergy(tap_flow).ToString().c_str(), ToEnergy(decay_flow).ToString().c_str());
-  std::printf("engine totals match: tap %s decay %s\n",
-              ToEnergy(taps.total_tap_flow()).ToString().c_str(),
-              ToEnergy(taps.total_decay_flow()).ToString().c_str());
-  return 0;
+              ToEnergy(tap_flow).ToString().c_str(),
+              ToEnergy(reader.TotalDecayFlow()).ToString().c_str());
+
+  // The acceptance bar: the offline reconstruction must equal the engine's
+  // own counters exactly — not approximately.
+  const bool tap_match = reader.TotalTapFlow() == taps.total_tap_flow();
+  const bool decay_match = reader.TotalDecayFlow() == taps.total_decay_flow();
+  std::printf("trace totals match engine: tap %s decay %s\n", tap_match ? "yes" : "NO",
+              decay_match ? "yes" : "NO");
+
+  // Load balance across the pool (slot 0 is the calling thread). These rows
+  // reflect real execution interleaving, so — unlike every line above — they
+  // vary with the worker count and from run to run.
+  for (const auto& w : reader.WorkerLoads()) {
+    std::printf("worker %u: %llu dispatches, %llu shard runs, %llu range runs, busy %.1f ms\n",
+                w.worker, static_cast<unsigned long long>(w.dispatches),
+                static_cast<unsigned long long>(w.shard_runs),
+                static_cast<unsigned long long>(w.range_runs),
+                static_cast<double>(w.busy_ns) / 1e6);
+  }
+
+  if (trace_file != nullptr) {
+    if (sim.telemetry().WriteFile(trace_file)) {
+      std::printf("trace written: %s (%zu records)\n", trace_file, reader.records().size());
+    } else {
+      std::fprintf(stderr, "failed to write trace file %s\n", trace_file);
+      return 1;
+    }
+  }
+
+  return tap_match && decay_match ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/trace_domain.h"
+
 namespace cinder {
 
 EnergyAwareScheduler::EnergyAwareScheduler(Kernel* kernel) : kernel_(kernel) {
@@ -108,9 +110,35 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now,
     }
     rr_cursor_ = (idx + 1) % n;
     last_pick_ = idx;
+    if (telemetry_ != nullptr) {
+      EmitPick(now, threads_[idx]);
+    }
     return threads_[idx];
   }
+  if (telemetry_ != nullptr) {
+    EmitPick(now, kInvalidObjectId);
+  }
   return kInvalidObjectId;
+}
+
+void EnergyAwareScheduler::EmitPick(SimTime now, ObjectId picked) {
+  if (!telemetry_->on(RecordKind::kSchedPick)) {
+    return;
+  }
+  if (TraceRing* ring = telemetry_->ring(0)) {
+    // kInvalidObjectId (0) doubles as the idle marker.
+    ring->Emit(now.us(), RecordKind::kSchedPick, static_cast<uint32_t>(picked), 0, 0, 0, 0);
+  }
+}
+
+void EnergyAwareScheduler::EmitCharge(const Thread& t, Quantity drawn) {
+  if (!telemetry_->on(RecordKind::kCpuCharge)) {
+    return;
+  }
+  if (TraceRing* ring = telemetry_->ring(0)) {
+    ring->Emit(telemetry_->time_us(), RecordKind::kCpuCharge, static_cast<uint32_t>(t.id()), 0,
+               0, drawn, 0);
+  }
 }
 
 Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
@@ -155,6 +183,9 @@ Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
     }
     const Energy billed = ToEnergy(drawn);
     t.AddCpuEnergy(billed);
+    if (telemetry_ != nullptr) {
+      EmitCharge(t, drawn);
+    }
     return billed;
   }
   // Cold path (callers outside the pick loop, or a stale cache): identical
@@ -207,6 +238,9 @@ Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
   }
   Energy billed = ToEnergy(drawn);
   t.AddCpuEnergy(billed);
+  if (telemetry_ != nullptr) {
+    EmitCharge(t, drawn);
+  }
   return billed;
 }
 

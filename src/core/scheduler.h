@@ -17,6 +17,8 @@
 
 namespace cinder {
 
+class TraceDomain;
+
 class EnergyAwareScheduler : public KernelObserver {
  public:
   explicit EnergyAwareScheduler(Kernel* kernel);
@@ -47,6 +49,12 @@ class EnergyAwareScheduler : public KernelObserver {
   // `cost` only when every reserve ran dry this quantum.
   Energy ChargeCpu(Thread& t, Energy cost);
 
+  // Attaches a trace domain: every PickNext decision emits a kSchedPick
+  // record (actor 0 when nothing could run) and every ChargeCpu a kCpuCharge
+  // record, both into writer slot 0 — the scheduler always runs on the main
+  // thread. Null detaches.
+  void set_telemetry(TraceDomain* domain) { telemetry_ = domain; }
+
   // KernelObserver: drop deleted threads from the run queue.
   void OnObjectDeleted(ObjectId id, ObjectType type) override;
 
@@ -72,7 +80,12 @@ class EnergyAwareScheduler : public KernelObserver {
   void RefreshCache();
   void RefreshThreadEnergy(ThreadEnergy& e, const Thread& t);
 
+  // Telemetry record helpers (cold; call sites gate on telemetry_).
+  void EmitPick(SimTime now, ObjectId picked);
+  void EmitCharge(const Thread& t, Quantity drawn);
+
   Kernel* kernel_;
+  TraceDomain* telemetry_ = nullptr;
   std::vector<ObjectId> threads_;
   std::vector<Thread*> thread_cache_;      // Parallel to threads_.
   std::vector<ThreadEnergy> energy_cache_;  // Parallel to threads_.

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "src/telemetry/trace_domain.h"
+
 namespace cinder {
 
 namespace {
+// Reserve-operation telemetry: one record per explicit deposit/withdraw/
+// consume through the syscall layer, so offline readers can reconstruct a
+// reserve's level history between batches.
+void TraceReserveOp(Kernel& k, RecordKind kind, uint8_t op, const Reserve& r, Quantity amount) {
+  TraceDomain* domain = k.trace_domain();
+  if (domain != nullptr) {
+    domain->Emit(kind, static_cast<uint32_t>(r.id()), 0, op, amount, r.level());
+  }
+}
+
 // Creating inside a container means writing to it.
 Status CheckContainerWrite(Kernel& k, const Thread& t, ObjectId container) {
   const Container* c = k.LookupTyped<Container>(container);
@@ -58,7 +70,11 @@ Status ReserveConsume(Kernel& k, Thread& t, ObjectId reserve, Quantity amount) {
   if (!k.CanUse(t, *r)) {
     return Status::kErrPermission;
   }
-  return r->Consume(amount);
+  const Status s = r->Consume(amount);
+  if (s == Status::kOk) {
+    TraceReserveOp(k, RecordKind::kReserveWithdraw, kReserveOpConsume, *r, amount);
+  }
+  return s;
 }
 
 Status ReserveTransfer(Kernel& k, Thread& t, ObjectId from, ObjectId to, Quantity amount) {
@@ -81,6 +97,8 @@ Status ReserveTransfer(Kernel& k, Thread& t, ObjectId from, ObjectId to, Quantit
   }
   Quantity moved = src->Withdraw(amount);
   dst->Deposit(moved);
+  TraceReserveOp(k, RecordKind::kReserveWithdraw, kReserveOpTransfer, *src, moved);
+  TraceReserveOp(k, RecordKind::kReserveDeposit, kReserveOpTransfer, *dst, moved);
   return Status::kOk;
 }
 

@@ -1,6 +1,7 @@
 #include "src/core/tap_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
@@ -8,8 +9,20 @@
 #include "src/base/log.h"
 #include "src/exec/shard_executor.h"
 #include "src/exec/shard_partitioner.h"
+#include "src/telemetry/trace_domain.h"
 
 namespace cinder {
+
+namespace {
+// Wall clock for the timing record kinds. Only read when the timing bits are
+// in the record mask — the values land in telemetry records, never in any
+// engine result, so determinism is untouched.
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 TapEngine::TapEngine(Kernel* kernel, ObjectId battery_reserve)
     : kernel_(kernel), battery_reserve_(battery_reserve) {
@@ -346,6 +359,10 @@ void TapEngine::RebuildPlan() {
 
   BuildSplitPlan();
 
+  if (telem_ != nullptr && telem_->enabled()) {
+    EmitPlanRecords();
+  }
+
   // The plan no longer needs the resolved pointers; drop them eagerly (the
   // capacity stays for the next rebuild).
   resolved_.clear();
@@ -518,6 +535,46 @@ void TapEngine::BuildSplitPlan() {
   }
 }
 
+void TapEngine::EmitPlanRecords() {
+  // Rebuild-time, main thread: size one writer ring per pool slot (the caller
+  // is slot 0) and dump the plan tables straight into the spill — they scale
+  // with the plan, not with any ring's capacity.
+  telem_->EnsureWriters(executor_ != nullptr ? static_cast<uint32_t>(executor_->workers()) : 1);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    telem_->EmitSpill(RecordKind::kPlanShard, s, static_cast<uint16_t>(stats_[s].ranges), 0,
+                      stats_[s].taps, stats_[s].decay_reserves);
+  }
+  if (telem_->on(RecordKind::kPlanTap)) {
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      for (uint32_t i = shard_plan_begin_[s]; i < shard_plan_begin_[s + 1]; ++i) {
+        const ResolvedTap& e = resolved_[i];
+        const auto endpoints = static_cast<int64_t>(
+            (static_cast<uint64_t>(e.src->id()) & 0xffffffffull) << 32 |
+            (static_cast<uint64_t>(e.dst->id()) & 0xffffffffull));
+        telem_->EmitSpill(RecordKind::kPlanTap, i, static_cast<uint16_t>(s & 0xffff), 0,
+                          static_cast<int64_t>(e.tap->id()), endpoints);
+      }
+    }
+  }
+  if (telem_->on(RecordKind::kPlanReserve)) {
+    const std::vector<ObjectId>& reserves = kernel_->ObjectsOfType(ObjectType::kReserve);
+    for (size_t i = 0; i < reserves.size(); ++i) {
+      const Reserve* r = kernel_->LookupTyped<Reserve>(reserves[i]);
+      if (r == nullptr || !r->bank_attached()) {
+        continue;
+      }
+      telem_->EmitSpill(RecordKind::kPlanReserve, r->bank_slot(),
+                        static_cast<uint16_t>(reserve_shard_[i] & 0xffff), 0,
+                        static_cast<int64_t>(reserves[i]), 0);
+    }
+  }
+}
+
+void TapEngine::EmitSinkDeposit(const Reserve* sink, Quantity amount) {
+  telem_->Emit(RecordKind::kReserveDeposit, static_cast<uint32_t>(sink->id()), 0,
+               kReserveOpDecayLeak, amount, sink->level());
+}
+
 void TapEngine::RunBatch(Duration dt) {
   if (!dt.IsPositive()) {
     return;
@@ -536,6 +593,70 @@ void TapEngine::RunBatch(Duration dt) {
   // Shard sinks are the partitioner's components; without sharding there is
   // no component structure to route by, so the flag is inert.
   decay_to_root_ = decay_.to_shard_root && sharding_;
+  // Cache the record-mask bits for this batch: written here on the main
+  // thread, read by workers past the executor's happens-before edge.
+  const uint32_t tmask = telem_ != nullptr ? telem_->record_mask() : 0;
+  telem_on_ = telem_ != nullptr && telem_->enabled();
+  telem_shard_batch_ = (tmask & RecordBit(RecordKind::kShardBatch)) != 0;
+  telem_shard_timing_ = (tmask & RecordBit(RecordKind::kShardTiming)) != 0;
+  telem_range_timing_ = (tmask & RecordBit(RecordKind::kRangeTiming)) != 0;
+  telem_taps_ = (tmask & RecordBit(RecordKind::kTapTransfer)) != 0;
+  telem_decay_records_ = (tmask & RecordBit(RecordKind::kReserveDecay)) != 0;
+  telem_reserve_ops_ = (tmask & RecordBit(RecordKind::kReserveDeposit)) != 0;
+  // Single-shard fast path: with one shard and no split there is nothing to
+  // dispatch or merge — run the passes inline and apply totals and the sink
+  // deposit directly, skipping the busy scan, the scratch write, and the
+  // merge loop. Exactly the work the general path does for one shard, minus
+  // its fixed cost (the BM_TapBatchWithDecay/8 tail in docs/PERFORMANCE.md).
+  if (num_shards_ == 1 && split_shards_.empty()) {
+    const int64_t t0 = telem_shard_timing_ ? NowNs() : 0;
+    const Quantity flow = RunShardTaps(0);
+    total_tap_flow_ += flow;
+    stats_[0].tap_flow += flow;
+    Quantity decay_flow = 0;
+    if (decay_.enabled) {
+      const DecayResult dr = DecayShard(0);
+      decay_flow = dr.flow;
+      total_decay_flow_ += dr.flow;
+      stats_[0].decay_flow += dr.flow;
+      Reserve* battery = battery_cache_;
+      if (dr.leak > 0) {
+        Reserve* sink = decay_to_root_ ? shard_sink_[0] : battery;
+        if (sink == nullptr) {
+          sink = battery;
+        }
+        if (sink != nullptr) {
+          sink->Deposit(dr.leak);
+          if (telem_reserve_ops_) {
+            EmitSinkDeposit(sink, dr.leak);
+          }
+        }
+      }
+      if (dr.stray > 0 && battery != nullptr) {
+        battery->Deposit(dr.stray);
+        if (telem_reserve_ops_) {
+          EmitSinkDeposit(battery, dr.stray);
+        }
+      }
+    }
+    if (telem_shard_batch_ || telem_shard_timing_) {
+      if (TraceRing* ring = telem_->ring(ShardExecutor::current_worker_slot())) {
+        const int64_t now = telem_->time_us();
+        if (telem_shard_batch_) {
+          ring->Emit(now, RecordKind::kShardBatch, 0, 0, 0, flow, decay_flow);
+        }
+        if (telem_shard_timing_) {
+          ring->Emit(now, RecordKind::kShardTiming, 0,
+                     static_cast<uint16_t>(ShardExecutor::current_worker_slot()), 0,
+                     NowNs() - t0, 0);
+        }
+      }
+    }
+    if (telem_on_) {
+      telem_->FlushFrame();
+    }
+    return;
+  }
   // Degenerate-dispatch fast path: waking the pool costs two notify/wait
   // handshakes per phase, pure loss unless at least two busy work items can
   // overlap. Count runnable items (a shard with plan entries or a non-empty
@@ -616,16 +737,54 @@ void TapEngine::RunBatch(Duration dt) {
       }
       if (sink != nullptr) {
         sink->Deposit(sc.decay_leak);
+        if (telem_reserve_ops_) {
+          EmitSinkDeposit(sink, sc.decay_leak);
+        }
       }
     }
     if (sc.decay_stray > 0 && battery != nullptr) {
       battery->Deposit(sc.decay_stray);
+      if (telem_reserve_ops_) {
+        EmitSinkDeposit(battery, sc.decay_stray);
+      }
     }
+  }
+  // One frame per batch: drain every worker ring into the spill (we are past
+  // the executor's happens-before edge) and stamp the mark.
+  if (telem_on_) {
+    telem_->FlushFrame();
   }
 }
 
 void TapEngine::RunShard(uint32_t shard) {
-  scratch_[shard] = ShardScratch{};
+  const int64_t t0 = telem_shard_timing_ ? NowNs() : 0;
+  ShardScratch& sc = scratch_[shard];
+  sc = ShardScratch{};
+  sc.tap_flow = RunShardTaps(shard);
+  if (decay_.enabled) {
+    const DecayResult dr = DecayShard(shard);
+    sc.decay_flow = dr.flow;
+    sc.decay_leak = dr.leak;
+    sc.decay_stray = dr.stray;
+  }
+  if (telem_shard_batch_ || telem_shard_timing_) {
+    // This worker's own ring (single-writer); null when the domain has no
+    // ring for the slot — then the records are skipped, never misfiled.
+    const uint32_t slot = ShardExecutor::current_worker_slot();
+    if (TraceRing* ring = telem_->ring(slot)) {
+      const int64_t now = telem_->time_us();
+      if (telem_shard_batch_) {
+        ring->Emit(now, RecordKind::kShardBatch, shard, 0, 0, sc.tap_flow, sc.decay_flow);
+      }
+      if (telem_shard_timing_) {
+        ring->Emit(now, RecordKind::kShardTiming, shard, static_cast<uint16_t>(slot), 0,
+                   NowNs() - t0, 0);
+      }
+    }
+  }
+}
+
+Quantity TapEngine::RunShardTaps(uint32_t shard) {
   const double dt_s = batch_dt_s_;
   const uint32_t begin = shard_plan_begin_[shard];
   const uint32_t end = shard_plan_begin_[shard + 1];
@@ -671,6 +830,8 @@ void TapEngine::RunShard(uint32_t shard) {
     want_base_[ti] = want;
     group_base_[group_of[i]] += want;
   }
+  TraceRing* const tap_trace =
+      telem_taps_ ? telem_->ring(ShardExecutor::current_worker_slot()) : nullptr;
   Quantity shard_flow = 0;
   for (uint32_t i = begin; i < end; ++i) {
     const uint32_t ti = tb + i;
@@ -712,11 +873,12 @@ void TapEngine::RunShard(uint32_t shard) {
     }
     ttrans[ti] += moved;
     shard_flow += moved;
+    if (tap_trace != nullptr) {
+      tap_trace->Emit(telem_->time_us(), RecordKind::kTapTransfer, i,
+                      static_cast<uint16_t>(shard & 0xffff), 0, moved, 0);
+    }
   }
-  scratch_[shard].tap_flow = shard_flow;
-  if (decay_.enabled) {
-    DecayShard(shard);
-  }
+  return shard_flow;
 }
 
 void TapEngine::RunTicket(const ShardTicket& t) {
@@ -739,6 +901,7 @@ void TapEngine::RunPass1Range(uint32_t split, uint32_t range) {
   // group_base_. Reads reserve levels (frozen until pass 2) and tap state,
   // writes only this range's slice of want_/lanes — any interleaving with
   // other tickets is race-free.
+  const int64_t t0 = telem_range_timing_ ? NowNs() : 0;
   const uint32_t shard = split_shards_[split];
   const uint32_t rr = split * split_k_ + range;
   const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(split) * (split_k_ + 1);
@@ -771,6 +934,13 @@ void TapEngine::RunPass1Range(uint32_t split, uint32_t range) {
     }
     want_base_[ti] = want;
     lane[entry_lane_[i]] += want;
+  }
+  if (telem_range_timing_) {
+    const uint32_t slot = ShardExecutor::current_worker_slot();
+    if (TraceRing* ring = telem_->ring(slot)) {
+      ring->Emit(telem_->time_us(), RecordKind::kRangeTiming, shard,
+                 static_cast<uint16_t>(slot << 8 | (range & 0xff)), 1, NowNs() - t0, 0);
+    }
   }
 }
 
@@ -822,6 +992,9 @@ void TapEngine::RunPass2Range(uint32_t split, uint32_t range) {
   // never fires, so the transfer needs no source read at all. Source
   // outflows accumulate in the range's integer lane; deposits go directly to
   // destinations only this range feeds, and are deferred otherwise.
+  const int64_t t0 = telem_range_timing_ ? NowNs() : 0;
+  TraceRing* const tap_trace =
+      telem_taps_ ? telem_->ring(ShardExecutor::current_worker_slot()) : nullptr;
   const uint32_t shard = split_shards_[split];
   const uint32_t rr = split * split_k_ + range;
   const uint32_t* bounds = range_bounds_.data() + static_cast<size_t>(split) * (split_k_ + 1);
@@ -876,6 +1049,17 @@ void TapEngine::RunPass2Range(uint32_t split, uint32_t range) {
     }
     ttrans[ti] += whole;
     rs.tap_flow += whole;
+    if (tap_trace != nullptr) {
+      tap_trace->Emit(telem_->time_us(), RecordKind::kTapTransfer, i,
+                      static_cast<uint16_t>(shard & 0xffff), 0, whole, 0);
+    }
+  }
+  if (telem_range_timing_) {
+    const uint32_t slot = ShardExecutor::current_worker_slot();
+    if (TraceRing* ring = telem_->ring(slot)) {
+      ring->Emit(telem_->time_us(), RecordKind::kRangeTiming, shard,
+                 static_cast<uint16_t>(slot << 8 | (range & 0xff)), 2, NowNs() - t0, 0);
+    }
   }
 }
 
@@ -937,6 +1121,8 @@ void TapEngine::FinalizeSplitShard(uint32_t split) {
   if (split_slow_entries_[split] > 0) {
     const uint32_t begin = bounds[0];
     const uint32_t end = bounds[split_k_];
+    TraceRing* const tap_trace =
+        telem_taps_ ? telem_->ring(ShardExecutor::current_worker_slot()) : nullptr;
     double* const tcarry = tbank_.carries();
     Quantity* const ttrans = tbank_.transferred();
     const uint32_t* const src_slot = plan_src_.data();
@@ -982,20 +1168,38 @@ void TapEngine::FinalizeSplitShard(uint32_t split) {
       }
       ttrans[ti] += moved;
       flow += moved;
+      if (tap_trace != nullptr) {
+        tap_trace->Emit(telem_->time_us(), RecordKind::kTapTransfer, i,
+                        static_cast<uint16_t>(shard & 0xffff), 0, moved, 0);
+      }
     }
   }
-  scratch_[shard].tap_flow = flow;
+  ShardScratch& sc = scratch_[shard];
+  sc.tap_flow = flow;
   if (decay_.enabled) {
-    DecayShard(shard);
+    const DecayResult dr = DecayShard(shard);
+    sc.decay_flow = dr.flow;
+    sc.decay_leak = dr.leak;
+    sc.decay_stray = dr.stray;
+  }
+  // Split shards' per-range work is covered by kRangeTiming; the batch record
+  // itself is written here, on the (serial) finalize thread.
+  if (telem_shard_batch_) {
+    if (TraceRing* ring = telem_->ring(ShardExecutor::current_worker_slot())) {
+      ring->Emit(telem_->time_us(), RecordKind::kShardBatch, shard, 0, 0, sc.tap_flow,
+                 sc.decay_flow);
+    }
   }
 }
 
-void TapEngine::DecayShard(uint32_t shard) {
+TapEngine::DecayResult TapEngine::DecayShard(uint32_t shard) {
   // Leak fraction for this interval: 1 - 2^(-dt / half_life). Only the
   // skip-list members are visited; a member found empty or exempt is pruned
   // (swap-erase — per-reserve decay is order-independent) and re-added by
   // OnReserveDecayable when it becomes decayable again.
   const double frac = decay_frac_;
+  TraceRing* const decay_trace =
+      telem_decay_records_ ? telem_->ring(ShardExecutor::current_worker_slot()) : nullptr;
   Quantity* const lvl = rbank_.levels();
   double* const carry = rbank_.carries();
   uint8_t* const flags = rbank_.flags();
@@ -1031,12 +1235,13 @@ void TapEngine::DecayShard(uint32_t shard) {
       if (to_root && (flags[s] & ReserveStateBank::kStrayShard) != 0) {
         stray_decay += take;
       }
+      if (decay_trace != nullptr) {
+        decay_trace->Emit(telem_->time_us(), RecordKind::kReserveDecay, s, 0, 0, take, 0);
+      }
     }
     ++i;
   }
-  scratch_[shard].decay_flow = shard_decay;
-  scratch_[shard].decay_leak = shard_decay - stray_decay;
-  scratch_[shard].decay_stray = stray_decay;
+  return DecayResult{shard_decay, shard_decay - stray_decay, stray_decay};
 }
 
 void TapEngine::OnReserveDecayable(Reserve* r) {

@@ -48,6 +48,7 @@ namespace cinder {
 // dependency-free ShardTask interface.
 class ShardExecutor;
 class ShardPartitioner;
+class TraceDomain;
 
 // Intra-shard range split: a component whose plan section has at least
 // `min_entries` entries (or whose partitioner-reported edge count reaches it)
@@ -135,6 +136,18 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   // of serializing the tail of the batch. Results never depend on it.
   const std::vector<uint32_t>& shard_run_order() const { return shard_order_; }
 
+  // -- Telemetry ----------------------------------------------------------------
+  // Attaches a trace domain: batches emit per-shard flow/timing records into
+  // per-worker rings and flush one frame per batch; plan rebuilds size the
+  // writer slots and dump the plan tables. Takes effect on the next batch
+  // (the plan is invalidated so the rebuild can do the cold setup). The
+  // engine does not own the domain; null detaches.
+  void set_telemetry(TraceDomain* domain) {
+    telem_ = domain;
+    plan_valid_ = false;
+  }
+  TraceDomain* telemetry() const { return telem_; }
+
   // Registered taps whose source is `reserve`, in id order. Used by
   // ReserveClone / strict transfers to find backward (drain) taps.
   std::vector<ObjectId> TapsFromSource(ObjectId reserve) const;
@@ -201,7 +214,19 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   // it (dead objects miss via their generation-tagged handles). Called before
   // every re-snapshot and from the destructor.
   void WriteBackBank();
-  void DecayShard(uint32_t shard);
+  // The two tap passes of one shard; returns the flow moved. RunShard and the
+  // single-shard fast path compose it with DecayShard.
+  Quantity RunShardTaps(uint32_t shard);
+  struct DecayResult {
+    Quantity flow = 0;
+    Quantity leak = 0;   // flow minus stray: banked for the battery root / shard sink.
+    Quantity stray = 0;  // Stray reserves' leakage: always the battery.
+  };
+  DecayResult DecayShard(uint32_t shard);
+  // Telemetry cold paths: the rebuild-time plan table dump (spill-direct) and
+  // the merge loop's sink-deposit records.
+  void EmitPlanRecords();
+  void EmitSinkDeposit(const Reserve* sink, Quantity amount);
 
   Kernel* kernel_;
   ObjectId battery_reserve_;
@@ -317,6 +342,19 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   Reserve* battery_cache_ = nullptr;
   uint64_t plan_epoch_ = 0;
   bool plan_valid_ = false;
+
+  // -- Telemetry ----------------------------------------------------------------
+  // Mask bits are cached once per batch on the main thread before any
+  // dispatch; workers read them past the executor's happens-before edge, so
+  // plain bools are race-free.
+  TraceDomain* telem_ = nullptr;
+  bool telem_on_ = false;
+  bool telem_shard_batch_ = false;
+  bool telem_shard_timing_ = false;
+  bool telem_range_timing_ = false;
+  bool telem_taps_ = false;
+  bool telem_decay_records_ = false;
+  bool telem_reserve_ops_ = false;
 
   bool sharding_ = false;
   ShardExecutor* executor_ = nullptr;

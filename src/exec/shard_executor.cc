@@ -1,11 +1,15 @@
 #include "src/exec/shard_executor.h"
 
+#include "src/telemetry/trace_domain.h"
+
 namespace cinder {
+
+thread_local uint32_t ShardExecutor::tls_worker_slot_ = 0;
 
 ShardExecutor::ShardExecutor(int workers) : workers_(workers < 1 ? 1 : workers) {
   threads_.reserve(workers_ - 1);
   for (int i = 0; i < workers_ - 1; ++i) {
-    threads_.emplace_back([this] { WorkerMain(); });
+    threads_.emplace_back([this, i] { WorkerMain(static_cast<uint32_t>(i) + 1); });
   }
 }
 
@@ -27,6 +31,12 @@ void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32
   // a shard index that already belongs to the next batch: a stale generation
   // tag makes it back off without touching the counter.
   const uint64_t gen_tag = generation << 32;
+  // Telemetry reads here are main-thread-cold fields (set before any batch),
+  // and the ring is this thread's own writer slot.
+  TraceDomain* const td = telemetry_;
+  TraceRing* const trace =
+      td != nullptr && td->on(RecordKind::kDispatch) ? td->ring(tls_worker_slot_) : nullptr;
+  const uint16_t slot_tag = static_cast<uint16_t>(tls_worker_slot_) << 8;
   uint64_t t = ticket_.load(std::memory_order_relaxed);
   while (true) {
     if ((t & ~uint64_t{0xffffffff}) != gen_tag) {
@@ -40,9 +50,19 @@ void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32
       continue;  // Lost the claim; t was reloaded.
     }
     if (tickets != nullptr) {
+      if (trace != nullptr) {
+        trace->Emit(td->time_us(), RecordKind::kDispatch, tickets[s].shard,
+                    slot_tag | static_cast<uint16_t>(tickets[s].range & 0xff),
+                    static_cast<uint8_t>(tickets[s].kind), 0, 0);
+      }
       task->RunTicket(tickets[s]);
     } else {
-      task->RunShard(order != nullptr ? order[s] : s);
+      const uint32_t shard = order != nullptr ? order[s] : s;
+      if (trace != nullptr) {
+        trace->Emit(td->time_us(), RecordKind::kDispatch, shard, slot_tag,
+                    static_cast<uint8_t>(ShardTicketKind::kWholeShard), 0, 0);
+      }
+      task->RunShard(shard);
     }
     // acq_rel so the waiter's acquire load of done_shards_ orders every
     // shard's writes before the caller's merge step.
@@ -54,7 +74,8 @@ void ShardExecutor::DrainShards(ShardTask* task, uint32_t n_shards, const uint32
   }
 }
 
-void ShardExecutor::WorkerMain() {
+void ShardExecutor::WorkerMain(uint32_t slot) {
+  tls_worker_slot_ = slot;
   uint64_t seen_generation = 0;
   while (true) {
     ShardTask* task;

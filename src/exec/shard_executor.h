@@ -24,6 +24,8 @@
 
 namespace cinder {
 
+class TraceDomain;
+
 class ShardExecutor {
  public:
   explicit ShardExecutor(int workers = 1);
@@ -33,6 +35,18 @@ class ShardExecutor {
   ShardExecutor& operator=(const ShardExecutor&) = delete;
 
   int workers() const { return workers_; }
+
+  // Attaches a telemetry domain: every claimed ticket emits a kDispatch
+  // record into the claiming worker's ring. Set from the main thread with no
+  // batch in flight. The domain must have at least workers() rings (the tap
+  // engine sizes it at plan rebuild) — slots without a ring skip the record.
+  void set_telemetry(TraceDomain* domain) { telemetry_ = domain; }
+
+  // The calling thread's writer slot: 0 for the thread that calls Run (and
+  // for every thread outside any pool), i for pool thread i-1. Telemetry
+  // writers use it to pick their single-writer ring. Batches of distinct
+  // executors never overlap in time, so slots are unambiguous per record.
+  static uint32_t current_worker_slot() { return tls_worker_slot_; }
 
   // Runs task->RunShard(s) for every s in [0, n_shards) and blocks until all
   // have finished. Not reentrant: one Run at a time, from one thread.
@@ -53,7 +67,7 @@ class ShardExecutor {
   void RunTickets(ShardTask* task, const ShardTicket* tickets, uint32_t n);
 
  private:
-  void WorkerMain();
+  void WorkerMain(uint32_t slot);
   // One unit-claiming loop shared by Run and RunTickets: `order`/`tickets`
   // select the dispatch mode (exactly one is non-null, or neither for the
   // identity shard order).
@@ -62,6 +76,8 @@ class ShardExecutor {
   void Launch(ShardTask* task, uint32_t n, const uint32_t* order, const ShardTicket* tickets);
 
   const int workers_;
+  TraceDomain* telemetry_ = nullptr;
+  static thread_local uint32_t tls_worker_slot_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

@@ -24,6 +24,8 @@
 
 namespace cinder {
 
+class TraceDomain;
+
 // Observers learn about object deletion so that side tables (the tap engine's
 // flow list, the scheduler's run queue) can drop dangling references.
 class KernelObserver {
@@ -158,6 +160,13 @@ class Kernel {
   // survives them all.
   uint64_t topology_epoch() const { return topology_epoch_; }
 
+  // -- Telemetry ---------------------------------------------------------------
+  // A trace domain the syscall layer emits reserve-operation records into
+  // (see src/telemetry). Not owned; null (the default) disables emission.
+  // Main-thread call sites only — syscalls never run on pool workers.
+  void set_trace_domain(TraceDomain* domain) { trace_domain_ = domain; }
+  TraceDomain* trace_domain() const { return trace_domain_; }
+
   // -- Labels & privileges -----------------------------------------------------
   CategoryAllocator& categories() { return categories_; }
 
@@ -257,6 +266,7 @@ class Kernel {
   std::array<std::vector<ObjectId>, kNumTypes> by_type_;
   uint64_t mutation_epoch_ = 0;
   uint64_t topology_epoch_ = 0;
+  TraceDomain* trace_domain_ = nullptr;
 
   ObjectId next_id_ = 1;
   ObjectId root_id_ = kInvalidObjectId;

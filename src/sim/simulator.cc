@@ -4,8 +4,36 @@
 
 namespace cinder {
 
+SimConfig SimConfig::Normalized() const {
+  SimConfig n = *this;
+  const ExecConfig defaults;
+  // A deprecated flat field set away from its default moves into `exec`
+  // unless the nested field was itself changed — then the nested value wins.
+  if (tap_workers != defaults.tap_workers && n.exec.tap_workers == defaults.tap_workers) {
+    n.exec.tap_workers = tap_workers;
+  }
+  if (decay_to_shard_root != defaults.decay_to_shard_root &&
+      n.exec.decay_to_shard_root == defaults.decay_to_shard_root) {
+    n.exec.decay_to_shard_root = decay_to_shard_root;
+  }
+  if (tap_split_threshold != defaults.tap_split_threshold &&
+      n.exec.tap_split_threshold == defaults.tap_split_threshold) {
+    n.exec.tap_split_threshold = tap_split_threshold;
+  }
+  if (tap_split_ranges != defaults.tap_split_ranges &&
+      n.exec.tap_split_ranges == defaults.tap_split_ranges) {
+    n.exec.tap_split_ranges = tap_split_ranges;
+  }
+  // Mirror back so legacy readers of the flat fields see effective values.
+  n.tap_workers = n.exec.tap_workers;
+  n.decay_to_shard_root = n.exec.decay_to_shard_root;
+  n.tap_split_threshold = n.exec.tap_split_threshold;
+  n.tap_split_ranges = n.exec.tap_split_ranges;
+  return n;
+}
+
 Simulator::Simulator(SimConfig config)
-    : config_(config),
+    : config_(config.Normalized()),
       battery_(config.model.battery_capacity),
       rng_(config.seed),
       radio_(&config_.model, &rng_),
@@ -21,17 +49,30 @@ Simulator::Simulator(SimConfig config)
   tap_engine_ = std::make_unique<TapEngine>(&kernel_, battery_reserve_);
   tap_engine_->decay().enabled = config_.decay_enabled;
   tap_engine_->decay().half_life = config_.decay_half_life;
-  tap_engine_->decay().to_shard_root = config_.decay_to_shard_root;
-  tap_engine_->split().min_entries = config_.tap_split_threshold;
-  tap_engine_->split().ranges = config_.tap_split_ranges;
-  if (config_.tap_workers >= 1) {
-    shard_executor_ = std::make_unique<ShardExecutor>(config_.tap_workers);
+  tap_engine_->decay().to_shard_root = config_.exec.decay_to_shard_root;
+  tap_engine_->split().min_entries = config_.exec.tap_split_threshold;
+  tap_engine_->split().ranges = config_.exec.tap_split_ranges;
+  if (config_.exec.tap_workers >= 1) {
+    shard_executor_ = std::make_unique<ShardExecutor>(config_.exec.tap_workers);
     tap_engine_->EnableSharding(shard_executor_.get());
-  } else if (config_.decay_to_shard_root) {
+  } else if (config_.exec.decay_to_shard_root) {
     // Shard sinks are per-component; run sharded but serial in the caller.
     tap_engine_->EnableSharding(nullptr);
   }
   scheduler_ = std::make_unique<EnergyAwareScheduler>(&kernel_);
+
+  // Telemetry: one domain for the whole embedding — the engine flushes a
+  // frame per tap batch, the scheduler/syscalls/executor emit into it, and
+  // Step keeps its clock on sim time.
+  telemetry_.Configure(config_.telemetry);
+  if (telemetry_.enabled()) {
+    kernel_.set_trace_domain(&telemetry_);
+    tap_engine_->set_telemetry(&telemetry_);
+    scheduler_->set_telemetry(&telemetry_);
+    if (shard_executor_ != nullptr) {
+      shard_executor_->set_telemetry(&telemetry_);
+    }
+  }
 
   // The boot thread: a convenience principal for setup syscalls. It draws
   // from the battery reserve directly and is never scheduled (no body).
@@ -104,6 +145,7 @@ void Simulator::RadioTransmit(int64_t bytes) {
 
 void Simulator::Step() {
   const Duration q = config_.quantum;
+  telemetry_.set_time_us(now_.us());
 
   RunTimedCallbacks();
 

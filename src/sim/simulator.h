@@ -30,23 +30,17 @@
 #include "src/histar/kernel.h"
 #include "src/sim/radio_device.h"
 #include "src/sim/thread_body.h"
+#include "src/telemetry/trace_domain.h"
 
 namespace cinder {
 
-struct SimConfig {
-  Duration quantum = Duration::Millis(1);
-  Duration tap_batch = Duration::Millis(10);
-  PowerModel model;
-  uint64_t seed = 42;
-  bool backlight_on = false;
-  bool decay_enabled = true;
-  Duration decay_half_life = Duration::Minutes(10);
-  Duration probe_interval = Duration::Millis(200);
-  // Tap-batch execution: 0 leaves the engine unsharded (the single-device
-  // default); >= 1 partitions the reserve/tap graph into independent shards
-  // and runs batches on that many workers (1 = sharded but serial). Results
-  // are bit-identical either way; sharding pays off for fleet scenarios with
-  // many disconnected devices.
+// Tap-batch execution knobs, grouped (they configure how batches execute,
+// never what they compute — results are bit-identical for any setting).
+struct ExecConfig {
+  // 0 leaves the engine unsharded (the single-device default); >= 1
+  // partitions the reserve/tap graph into independent shards and runs
+  // batches on that many workers (1 = sharded but serial). Sharding pays off
+  // for fleet scenarios with many disconnected devices.
   int tap_workers = 0;
   // Route each shard's decay leakage back to that shard's smallest-id energy
   // reserve instead of the single battery root — fleet scenarios where each
@@ -64,6 +58,34 @@ struct SimConfig {
   uint32_t tap_split_ranges = 8;
 };
 
+struct SimConfig {
+  Duration quantum = Duration::Millis(1);
+  Duration tap_batch = Duration::Millis(10);
+  PowerModel model;
+  uint64_t seed = 42;
+  bool backlight_on = false;
+  bool decay_enabled = true;
+  Duration decay_half_life = Duration::Minutes(10);
+  Duration probe_interval = Duration::Millis(200);
+  // Execution and telemetry are nested configs (PR 7): exec groups the
+  // sharding/splitting knobs, telemetry configures the trace domain the
+  // simulator owns (per-worker rings, record mask, spill).
+  ExecConfig exec;
+  TelemetryConfig telemetry;
+  // Deprecated flat aliases of the ExecConfig fields, kept so pre-ExecConfig
+  // callers compile and behave unchanged. Normalized() reconciles them: a
+  // flat field set away from its default is copied into `exec` unless the
+  // nested field was itself changed (the nested value wins), and the flat
+  // fields are then mirrored back so config() readers see effective values.
+  // New code should set `exec.*`.
+  int tap_workers = 0;
+  bool decay_to_shard_root = false;
+  uint32_t tap_split_threshold = 4096;
+  uint32_t tap_split_ranges = 8;
+  // The config the Simulator actually runs (alias reconciliation applied).
+  SimConfig Normalized() const;
+};
+
 class Simulator final : public PowerSource {
  public:
   explicit Simulator(SimConfig config = {});
@@ -79,6 +101,12 @@ class Simulator final : public PowerSource {
   // Null unless config.tap_workers >= 1.
   ShardExecutor* shard_executor() { return shard_executor_.get(); }
   EnergyAwareScheduler& scheduler() { return *scheduler_; }
+  // The simulator-owned trace domain (src/telemetry). Disabled unless
+  // config.telemetry.enabled; the clock tracks sim time. Flush pending rings
+  // (taps().telemetry()->FlushFrame() runs per batch automatically) before
+  // reading it mid-run with TraceReader::FromDomain.
+  TraceDomain& telemetry() { return telemetry_; }
+  const TraceDomain& telemetry() const { return telemetry_; }
   EnergyMeter& meter() { return meter_; }
   Battery& battery() { return battery_; }
   Rng& rng() { return rng_; }
@@ -161,6 +189,9 @@ class Simulator final : public PowerSource {
   Rng rng_;
   RadioDevice radio_;
   PowerSupplyProbe probe_;
+  // Declared before the executor/engine/scheduler, which hold raw pointers
+  // into it: reverse destruction order keeps the domain alive past them.
+  TraceDomain telemetry_;
   // Declared before the tap engine: the engine holds a raw pointer to the
   // executor, so the engine must be destroyed first (reverse member order).
   std::unique_ptr<ShardExecutor> shard_executor_;

@@ -1,0 +1,143 @@
+#include "src/telemetry/trace_domain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace cinder {
+
+namespace {
+size_t RecordsForBytes(uint64_t bytes, size_t min_records) {
+  size_t cap = min_records;
+  while (cap * sizeof(TraceRecord) < bytes) {
+    cap <<= 1;
+  }
+  return cap;
+}
+}  // namespace
+
+void TraceDomain::Configure(const TelemetryConfig& cfg) {
+  cfg_ = cfg;
+  rings_.clear();
+  spill_.clear();
+  spill_head_ = 0;
+  spill_size_ = 0;
+  spill_dropped_ = 0;
+  next_frame_ = 0;
+  if (!cfg_.enabled) {
+    spill_mask_ = 0;
+    return;
+  }
+  const size_t cap = RecordsForBytes(cfg_.spill_bytes, 64);
+  spill_.resize(cap);
+  spill_mask_ = cap - 1;
+  EnsureWriters(1);
+}
+
+void TraceDomain::EnsureWriters(uint32_t n) {
+  if (!cfg_.enabled) {
+    return;
+  }
+  const uint32_t ring_records =
+      static_cast<uint32_t>(RecordsForBytes(cfg_.ring_bytes, 16));
+  while (rings_.size() < n) {
+    rings_.push_back(std::make_unique<TraceRing>(ring_records));
+  }
+}
+
+void TraceDomain::GrowSpill() {
+  // Linearize into a buffer twice the size; cold (full-history mode only).
+  std::vector<TraceRecord> bigger(spill_.size() * 2);
+  for (size_t i = 0; i < spill_size_; ++i) {
+    bigger[i] = spill_[(spill_head_ + i) & spill_mask_];
+  }
+  spill_.swap(bigger);
+  spill_mask_ = spill_.size() - 1;
+  spill_head_ = 0;
+}
+
+void TraceDomain::AppendSpill(const TraceRecord& r) {
+  if (spill_size_ == spill_.size()) {
+    if (cfg_.spill_grow) {
+      GrowSpill();
+    } else {
+      spill_head_ = (spill_head_ + 1) & spill_mask_;
+      --spill_size_;
+      ++spill_dropped_;
+    }
+  }
+  spill_[(spill_head_ + spill_size_) & spill_mask_] = r;
+  ++spill_size_;
+}
+
+void TraceDomain::EmitSpill(RecordKind kind, uint32_t actor, uint16_t aux, uint8_t flags,
+                            int64_t v0, int64_t v1) {
+  if (!on(kind) || spill_.empty()) {
+    return;
+  }
+  TraceRecord r;
+  r.time_us = time_us_;
+  r.v0 = v0;
+  r.v1 = v1;
+  r.actor = actor;
+  r.kind = static_cast<uint8_t>(kind);
+  r.flags = flags;
+  r.aux = aux;
+  AppendSpill(r);
+}
+
+uint64_t TraceDomain::FlushFrame() {
+  if (!cfg_.enabled) {
+    return 0;
+  }
+  for (auto& ring : rings_) {
+    ring->Drain([this](const TraceRecord& r) { AppendSpill(r); });
+  }
+  const uint64_t seq = next_frame_++;
+  TraceRecord mark;
+  mark.time_us = time_us_;
+  mark.v0 = static_cast<int64_t>(seq);
+  mark.kind = static_cast<uint8_t>(RecordKind::kFrameMark);
+  mark.aux = static_cast<uint16_t>(rings_.size());
+  AppendSpill(mark);
+  return seq;
+}
+
+uint64_t TraceDomain::dropped_records() const {
+  uint64_t dropped = spill_dropped_;
+  for (const auto& ring : rings_) {
+    dropped += ring->dropped();
+  }
+  return dropped;
+}
+
+bool TraceDomain::WriteFile(const std::string& path, std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  TraceFileHeader h{};
+  std::memcpy(h.magic, kTraceFileMagic, sizeof(h.magic));
+  h.record_size = sizeof(TraceRecord);
+  h.writer_count = static_cast<uint32_t>(rings_.size());
+  h.record_count = spill_size_;
+  h.dropped_records = dropped_records();
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  // The spill is a ring; write its two contiguous chunks in FIFO order.
+  for (size_t i = 0; ok && i < spill_size_;) {
+    const size_t at = (spill_head_ + i) & spill_mask_;
+    const size_t run = std::min(spill_size_ - i, spill_.size() - at);
+    ok = std::fwrite(spill_.data() + at, sizeof(TraceRecord), run, f) == run;
+    i += run;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) {
+    *error = "short write to " + path;
+  }
+  return ok;
+}
+
+}  // namespace cinder

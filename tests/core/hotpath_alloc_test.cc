@@ -11,6 +11,7 @@
 
 #include "src/core/tap_engine.h"
 #include "src/exec/shard_executor.h"
+#include "src/telemetry/trace_domain.h"
 
 namespace {
 // Atomic: sharded batches allocate (or rather, must not) from worker threads.
@@ -213,6 +214,96 @@ TEST(HotPathAllocTest, RangeSplitSteadyStateIsAllocationFree) {
   EXPECT_EQ(g_allocations.load(), before);
   EXPECT_GT(engine.total_tap_flow(), 0);
   EXPECT_GT(engine.total_decay_flow(), 0);
+}
+
+TEST(HotPathAllocTest, TelemetryShardedSteadyStateIsAllocationFree) {
+  // The telemetry acceptance bar: with every record kind enabled and the
+  // ring/spill deliberately undersized — so steady state continually takes
+  // the overwrite-oldest and drop-oldest paths — a pooled batch still
+  // allocates nothing after warmup. Records are lost (and counted), never
+  // bought with allocation.
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  ShardExecutor exec(2);
+  TapEngine engine(&k, battery->id());
+  engine.EnableSharding(&exec);
+  engine.decay().enabled = true;
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.record_mask = kAllRecordsMask;  // Fine-grained kinds included.
+  cfg.ring_bytes = 32 * sizeof(TraceRecord);
+  cfg.spill_bytes = 256 * sizeof(TraceRecord);
+  cfg.spill_grow = false;
+  TraceDomain domain(cfg);
+  engine.set_telemetry(&domain);
+  for (int c = 0; c < 8; ++c) {
+    Reserve* pool = k.Create<Reserve>(
+        k.root_container_id(), Label(Level::k1), "pool");
+    pool->Deposit(INT64_MAX / 16);
+    for (int i = 0; i < 8; ++i) {
+      Reserve* r = k.Create<Reserve>(
+          k.root_container_id(), Label(Level::k1), "r");
+      Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t",
+                               pool->id(), r->id());
+      if (i % 2 == 0) {
+        tap->SetConstantPower(Power::Milliwatts(1));
+      } else {
+        tap->SetProportionalRate(0.01);
+      }
+      ASSERT_TRUE(engine.Register(tap->id()));
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  ASSERT_EQ(engine.shard_count(), 8u);
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(domain.frames_flushed(), 1010u);
+  // The undersized buffers really were exercised.
+  EXPECT_GT(domain.dropped_records(), 0u);
+  EXPECT_GT(domain.spill_dropped(), 0u);
+  EXPECT_GT(engine.total_tap_flow(), 0);
+}
+
+TEST(HotPathAllocTest, TelemetrySingleShardFastPathIsAllocationFree) {
+  // The tiny-batch fast path (one shard, no pool) with telemetry on: emit +
+  // flush per batch must stay store-only.
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(
+      k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = true;
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.spill_bytes = 256 * sizeof(TraceRecord);
+  cfg.spill_grow = false;
+  TraceDomain domain(cfg);
+  engine.set_telemetry(&domain);
+  for (int i = 0; i < 8; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    r->Deposit(1000000000);
+    Tap* tap =
+        k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", battery->id(), r->id());
+    tap->SetConstantPower(Power::Milliwatts(1));
+    ASSERT_TRUE(engine.Register(tap->id()));
+  }
+  engine.RunBatch(Duration::Millis(10));
+  ASSERT_EQ(engine.shard_count(), 1u);
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(domain.frames_flushed(), 1001u);
+  EXPECT_GT(engine.total_tap_flow(), 0);
 }
 
 TEST(HotPathAllocTest, KernelLookupAndObjectsOfTypeAreAllocationFree) {

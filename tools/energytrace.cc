@@ -1,0 +1,160 @@
+// energytrace — offline dump tool for Cinder telemetry trace files.
+//
+// Reads a trace written by TraceDomain::WriteFile (the fleet example's
+// optional 4th argument, or any embedding that calls WriteFile) and prints
+// what the TraceReader can reconstruct: stream summary and kind histogram,
+// engine flow totals, per-shard tap/decay attribution, per-shard timelines,
+// worker load balance, per-thread CPU billing, and (when the fine-grained
+// kinds were enabled) per-tap flows.
+//
+// Usage:
+//   energytrace <trace-file>                 summary + totals + tables
+//   energytrace <trace-file> --timeline N    also print shard N's timeline
+//   energytrace <trace-file> --taps          also print per-tap flows
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/telemetry/trace_reader.h"
+#include "src/telemetry/trace_record.h"
+
+namespace {
+
+const char* KindName(uint8_t kind) {
+  switch (static_cast<cinder::RecordKind>(kind)) {
+    case cinder::RecordKind::kFrameMark: return "frame_mark";
+    case cinder::RecordKind::kShardBatch: return "shard_batch";
+    case cinder::RecordKind::kShardTiming: return "shard_timing";
+    case cinder::RecordKind::kRangeTiming: return "range_timing";
+    case cinder::RecordKind::kTapTransfer: return "tap_transfer";
+    case cinder::RecordKind::kReserveDeposit: return "reserve_deposit";
+    case cinder::RecordKind::kReserveWithdraw: return "reserve_withdraw";
+    case cinder::RecordKind::kReserveDecay: return "reserve_decay";
+    case cinder::RecordKind::kSchedPick: return "sched_pick";
+    case cinder::RecordKind::kCpuCharge: return "cpu_charge";
+    case cinder::RecordKind::kDispatch: return "dispatch";
+    case cinder::RecordKind::kPlanTap: return "plan_tap";
+    case cinder::RecordKind::kPlanShard: return "plan_shard";
+    case cinder::RecordKind::kPlanReserve: return "plan_reserve";
+    default: return "?";
+  }
+}
+
+double Mj(int64_t nj) { return static_cast<double>(nj) / 1e6; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <trace-file> [--timeline SHARD] [--taps]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  const std::string path = argv[1];
+  bool want_timeline = false;
+  uint32_t timeline_shard = 0;
+  bool want_taps = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      want_timeline = true;
+      timeline_shard = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--taps") == 0) {
+      want_taps = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  cinder::TraceReader reader;
+  std::string error;
+  if (!cinder::TraceReader::LoadFile(path, &reader, &error)) {
+    std::fprintf(stderr, "energytrace: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("  records %zu, frames %" PRIu64 ", writers %u, dropped %" PRIu64 "\n",
+              reader.records().size(), reader.frames(), reader.writer_count(),
+              reader.dropped());
+  if (reader.dropped() > 0) {
+    std::printf("  (dropped records: totals below undercount the run)\n");
+  }
+  const auto& counts = reader.kind_counts();
+  for (size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] > 0) {
+      std::printf("  %-16s %" PRIu64 "\n", KindName(static_cast<uint8_t>(k)), counts[k]);
+    }
+  }
+
+  std::printf("\nengine totals (from shard_batch records):\n");
+  std::printf("  tap flow   %.3f mJ (%" PRId64 " nJ)\n", Mj(reader.TotalTapFlow()),
+              reader.TotalTapFlow());
+  std::printf("  decay flow %.3f mJ (%" PRId64 " nJ)\n", Mj(reader.TotalDecayFlow()),
+              reader.TotalDecayFlow());
+
+  const auto shards = reader.FlowByShard();
+  if (!shards.empty()) {
+    std::printf("\nper-shard flow (%zu shards):\n", shards.size());
+    std::printf("  %6s %6s %8s %7s %9s %12s %12s\n", "shard", "taps", "reserves", "ranges",
+                "batches", "tap mJ", "decay mJ");
+    for (const auto& s : shards) {
+      std::printf("  %6u %6u %8u %7u %9" PRIu64 " %12.3f %12.3f\n", s.shard, s.taps,
+                  s.decay_reserves, s.ranges, s.batches, Mj(s.tap_flow), Mj(s.decay_flow));
+    }
+  }
+
+  const auto loads = reader.WorkerLoads();
+  if (!loads.empty()) {
+    std::printf("\nworker load balance (slot 0 = calling thread):\n");
+    std::printf("  %6s %10s %10s %10s %12s\n", "worker", "dispatches", "shards", "ranges",
+                "busy ms");
+    for (const auto& w : loads) {
+      std::printf("  %6u %10" PRIu64 " %10" PRIu64 " %10" PRIu64 " %12.3f\n", w.worker,
+                  w.dispatches, w.shard_runs, w.range_runs,
+                  static_cast<double>(w.busy_ns) / 1e6);
+    }
+  }
+
+  const auto charges = reader.CpuChargeByThread();
+  if (!charges.empty() || reader.SchedPicks() > 0) {
+    std::printf("\nscheduler: %" PRIu64 " picks (%" PRIu64 " idle)\n", reader.SchedPicks(),
+                reader.SchedIdlePicks());
+    for (const auto& c : charges) {
+      std::printf("  thread %-10u %8" PRIu64 " quanta  %10.3f mJ billed\n", c.thread,
+                  c.quanta, Mj(c.billed));
+    }
+  }
+
+  if (want_timeline) {
+    const auto points = reader.ShardTimeline(timeline_shard);
+    std::printf("\nshard %u timeline (%zu batches):\n", timeline_shard, points.size());
+    std::printf("  %9s %12s %12s %12s %14s %14s\n", "frame", "time ms", "tap mJ", "decay mJ",
+                "cum tap mJ", "cum decay mJ");
+    for (const auto& p : points) {
+      std::printf("  %9" PRIu64 " %12.3f %12.3f %12.3f %14.3f %14.3f\n", p.frame,
+                  static_cast<double>(p.time_us) / 1e3, Mj(p.tap_flow), Mj(p.decay_flow),
+                  Mj(p.cumulative_tap_flow), Mj(p.cumulative_decay_flow));
+    }
+  }
+
+  if (want_taps) {
+    const auto taps = reader.TapFlows();
+    if (taps.empty()) {
+      std::printf("\nper-tap flows: none (enable kTapTransfer/kPlanTap in the record mask)\n");
+    } else {
+      std::printf("\nper-tap flows (%zu taps):\n", taps.size());
+      std::printf("  %10s %10s %10s %10s %12s\n", "tap", "src", "dst", "transfers", "flow mJ");
+      for (const auto& t : taps) {
+        std::printf("  %10" PRIu64 " %10u %10u %10" PRIu64 " %12.3f\n", t.tap_id, t.src_id,
+                    t.dst_id, t.transfers, Mj(t.flow));
+      }
+    }
+  }
+
+  return 0;
+}
