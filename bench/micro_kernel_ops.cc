@@ -17,6 +17,7 @@
 #include "src/exec/shard_executor.h"
 #include "src/histar/kernel.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/file_stream_sink.h"
 #include "src/telemetry/trace_domain.h"
 
 namespace cinder {
@@ -110,6 +111,57 @@ void BM_TapBatchTelemetry(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_taps);
 }
 BENCHMARK(BM_TapBatchTelemetry)->Arg(512)->Arg(32768);
+
+// A scratch file for streaming benchmarks: tmpfs when available so the
+// numbers measure the sink's CPU cost, not disk latency.
+std::string StreamScratchPath(const char* name) {
+  std::string shm = std::string("/dev/shm/") + name;
+  if (std::FILE* probe = std::fopen(shm.c_str(), "wb")) {
+    std::fclose(probe);
+    return shm;
+  }
+  return std::string("/tmp/") + name;
+}
+
+// BM_TapBatchTelemetry with a FileStreamSink attached: the full streaming
+// pipeline (ring flush -> sink -> stdio buffer -> tmpfs), no retention. The
+// <2% CI budget versus the bare batch is enforced by the paired probe below,
+// same as the telemetry-only overhead.
+void BM_TapBatchStreaming(benchmark::State& state) {
+  const int n_taps = static_cast<int>(state.range(0));
+  Kernel k;
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->set_decay_exempt(true);
+  battery->Deposit(INT64_MAX / 2);
+  TapEngine engine(&k, battery->id());
+  engine.decay().enabled = false;
+  FileStreamSink sink;  // Declared before the domain: sinks outlive it.
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  TraceDomain domain(cfg);
+  const std::string path = StreamScratchPath("cinder_bench_stream.bin");
+  std::string err;
+  if (!sink.Open(path, {}, &err)) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  domain.AddSink(&sink);
+  engine.set_telemetry(&domain);
+  for (int i = 0; i < n_taps; ++i) {
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    Tap* tap = k.Create<Tap>(k.root_container_id(), Label(Level::k1), "t", battery->id(),
+                             r->id());
+    tap->SetConstantPower(Power::Milliwatts(1));
+    engine.Register(tap->id());
+  }
+  for (auto _ : state) {
+    engine.RunBatch(Duration::Millis(10));
+  }
+  state.SetItemsProcessed(state.iterations() * n_taps);
+  domain.RemoveSink(&sink);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TapBatchStreaming)->Arg(512)->Arg(32768);
 
 // The sharded path on a fleet-like topology: `n_taps` taps spread over 16
 // disconnected components (one source pool each). arg1 is the worker count;
@@ -355,10 +407,15 @@ BENCHMARK(BM_ObjectCreateDelete);
 
 struct TelemetryGateRig {
   Kernel k;
+  FileStreamSink sink;  // Declared before the domain: sinks outlive it.
   TraceDomain domain;
   std::unique_ptr<TapEngine> engine;
+  std::string stream_path;
 
-  explicit TelemetryGateRig(bool telemetry_on, int n_taps) {
+  // `stream_to` non-null additionally attaches a FileStreamSink writing
+  // there, measuring the whole streaming pipeline (implies telemetry on).
+  explicit TelemetryGateRig(bool telemetry_on, int n_taps,
+                            const char* stream_to = nullptr) {
     Reserve* battery =
         k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
     battery->set_decay_exempt(true);
@@ -368,6 +425,12 @@ struct TelemetryGateRig {
     TelemetryConfig cfg;
     cfg.enabled = telemetry_on;
     domain.Configure(cfg);
+    if (stream_to != nullptr) {
+      stream_path = StreamScratchPath(stream_to);
+      if (sink.Open(stream_path, {})) {
+        domain.AddSink(&sink);
+      }
+    }
     engine->set_telemetry(&domain);
     for (int i = 0; i < n_taps; ++i) {
       Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
@@ -375,6 +438,13 @@ struct TelemetryGateRig {
                                battery->id(), r->id());
       tap->SetConstantPower(Power::Milliwatts(1));
       engine->Register(tap->id());
+    }
+  }
+
+  ~TelemetryGateRig() {
+    if (!stream_path.empty()) {
+      domain.RemoveSink(&sink);
+      std::remove(stream_path.c_str());
     }
   }
 
@@ -395,38 +465,44 @@ int RunTelemetryGate(const char* out_path) {
   constexpr int kRounds = 60;
   TelemetryGateRig off(false, kTaps);
   TelemetryGateRig on(true, kTaps);
+  TelemetryGateRig stream(true, kTaps, "cinder_gate_stream.bin");
   off.TimeBlock(20);  // Warm up allocator, caches, and tap order.
   on.TimeBlock(20);
-  std::vector<double> t_off, t_on;
+  stream.TimeBlock(20);
+  TelemetryGateRig* rigs[3] = {&off, &on, &stream};
+  std::vector<double> times[3];
   for (int round = 0; round < kRounds; ++round) {
-    // Alternate which engine goes first so within-round drift (the second
-    // block always runs on a slightly different machine state than the
-    // first) cancels instead of biasing one side.
-    if (round % 2 == 0) {
-      t_off.push_back(off.TimeBlock(kBlockBatches));
-      t_on.push_back(on.TimeBlock(kBlockBatches));
-    } else {
-      t_on.push_back(on.TimeBlock(kBlockBatches));
-      t_off.push_back(off.TimeBlock(kBlockBatches));
+    // Rotate which rig goes first so within-round drift (a later block
+    // always runs on a slightly different machine state than an earlier
+    // one) cancels across rounds instead of biasing one rig.
+    for (int j = 0; j < 3; ++j) {
+      const int idx = (j + round) % 3;
+      times[idx].push_back(rigs[idx]->TimeBlock(kBlockBatches));
     }
   }
-  // The two blocks of one round are adjacent in time, so machine-state
-  // drift hits them near-identically: the per-round ratio cancels it, and
-  // the median of per-round ratios is far tighter than the ratio of the
-  // two independent medians.
-  std::vector<double> ratios;
-  for (int round = 0; round < kRounds; ++round) {
-    ratios.push_back(t_on[round] / t_off[round]);
-  }
-  std::sort(ratios.begin(), ratios.end());
-  const double overhead = ratios[kRounds / 2] - 1.0;
+  // The blocks of one round are adjacent in time, so machine-state drift
+  // hits them near-identically: the per-round ratio cancels it, and the
+  // median of per-round ratios is far tighter than the ratio of the
+  // independent medians.
+  auto paired_overhead = [&](const std::vector<double>& t) {
+    std::vector<double> ratios;
+    for (int round = 0; round < kRounds; ++round) {
+      ratios.push_back(t[round] / times[0][round]);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    return ratios[kRounds / 2] - 1.0;
+  };
+  const double on_overhead = paired_overhead(times[1]);
+  const double stream_overhead = paired_overhead(times[2]);
+  std::vector<double> t_off = times[0];
   std::sort(t_off.begin(), t_off.end());
   const double off_ns = t_off[kRounds / 2] / kBlockBatches;
-  const double on_ns = off_ns * (1.0 + overhead);
+  const double on_ns = off_ns * (1.0 + on_overhead);
+  const double stream_ns = off_ns * (1.0 + stream_overhead);
   std::fprintf(stderr,
                "telemetry gate probe: off %.0f ns/batch, paired overhead "
-               "%+.2f%%\n",
-               off_ns, 100.0 * overhead);
+               "telemetry %+.2f%%, streaming %+.2f%%\n",
+               off_ns, 100.0 * on_overhead, 100.0 * stream_overhead);
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::perror(out_path);
@@ -441,11 +517,14 @@ int RunTelemetryGate(const char* out_path) {
                "     \"time_unit\": \"ns\"},\n"
                "    {\"name\": \"BM_TapBatchTelemetry/32768\", \"run_type\": \"iteration\",\n"
                "     \"iterations\": %d, \"real_time\": %.1f, \"cpu_time\": %.1f,\n"
+               "     \"time_unit\": \"ns\"},\n"
+               "    {\"name\": \"BM_TapBatchStreaming/32768\", \"run_type\": \"iteration\",\n"
+               "     \"iterations\": %d, \"real_time\": %.1f, \"cpu_time\": %.1f,\n"
                "     \"time_unit\": \"ns\"}\n"
                "  ]\n"
                "}\n",
                kRounds * kBlockBatches, off_ns, off_ns, kRounds * kBlockBatches,
-               on_ns, on_ns);
+               on_ns, on_ns, kRounds * kBlockBatches, stream_ns, stream_ns);
   std::fclose(f);
   return 0;
 }

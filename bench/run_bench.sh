@@ -17,7 +17,8 @@
 # Independent of --compare, every run whose filter covers both tap-batch
 # benchmarks also runs the paired telemetry-overhead probe
 # (micro_kernel_ops --telemetry_gate=...) and gates BM_TapBatchTelemetry/32768
-# within 2% of BM_TapBatch/32768. The probe alternates the two engines in
+# AND BM_TapBatchStreaming/32768 (full pipeline: ring flush -> file sink ->
+# tmpfs) within 2% of BM_TapBatch/32768. The probe rotates the engines in
 # ~25ms blocks inside one process — sequential benchmark timings drift by
 # ±10% on shared runners and cannot resolve a 2% budget, the paired probe
 # reproduces to well under 1%.
@@ -70,7 +71,8 @@ then
     "$build_dir/micro_kernel_ops" --telemetry_gate="$gate_json"
     if python3 "$repo_root/bench/compare_bench.py" \
       --current "$gate_json" \
-      --relative-gate 'BM_TapBatchTelemetry/32768:BM_TapBatch/32768:0.02'; then
+      --relative-gate 'BM_TapBatchTelemetry/32768:BM_TapBatch/32768:0.02' \
+      --relative-gate 'BM_TapBatchStreaming/32768:BM_TapBatch/32768:0.02'; then
       gate_ok=1
       break
     fi
@@ -97,6 +99,7 @@ if [[ -n "$baseline" ]]; then
     --gate 'BM_TapBatch/512' \
     --gate 'BM_TapBatch/32768' \
     --gate 'BM_TapBatchTelemetry/32768' \
+    --gate 'BM_TapBatchStreaming/32768' \
     --gate 'BM_DecaySparse/4096' \
     --gate 'BM_DecaySparse/32768' \
     --gate 'BM_TapBatchGiant/taps:32768/workers:1' \

@@ -72,6 +72,21 @@ Simulator::Simulator(SimConfig config)
     if (shard_executor_ != nullptr) {
       shard_executor_->set_telemetry(&telemetry_);
     }
+    if (!config_.telemetry.stream_path.empty()) {
+      // Stream the run to disk as it executes; the domain then retains
+      // nothing (unless retain_with_sinks) and telemetry memory stays
+      // O(rings) however long the run is. ~Simulator finalizes the file.
+      stream_sink_ = std::make_unique<FileStreamSink>();
+      FileStreamSinkOptions opts;
+      opts.fsync_every_frames = config_.telemetry.stream_fsync_frames;
+      std::string err;
+      if (stream_sink_->Open(config_.telemetry.stream_path, opts, &err)) {
+        telemetry_.AddSink(stream_sink_.get());
+      } else {
+        CINDER_WLOG() << "telemetry stream disabled: " << err;
+        stream_sink_.reset();
+      }
+    }
   }
 
   // The boot thread: a convenience principal for setup syscalls. It draws

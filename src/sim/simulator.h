@@ -30,6 +30,7 @@
 #include "src/histar/kernel.h"
 #include "src/sim/radio_device.h"
 #include "src/sim/thread_body.h"
+#include "src/telemetry/file_stream_sink.h"
 #include "src/telemetry/trace_domain.h"
 
 namespace cinder {
@@ -107,6 +108,10 @@ class Simulator final : public PowerSource {
   // reading it mid-run with TraceReader::FromDomain.
   TraceDomain& telemetry() { return telemetry_; }
   const TraceDomain& telemetry() const { return telemetry_; }
+  // The streaming sink attached when config.telemetry.stream_path is set
+  // (and telemetry is enabled); null otherwise. The file finalizes when the
+  // simulator is destroyed — or earlier via telemetry().RemoveSink().
+  FileStreamSink* stream_sink() { return stream_sink_.get(); }
   EnergyMeter& meter() { return meter_; }
   Battery& battery() { return battery_; }
   Rng& rng() { return rng_; }
@@ -189,6 +194,9 @@ class Simulator final : public PowerSource {
   Rng rng_;
   RadioDevice radio_;
   PowerSupplyProbe probe_;
+  // Declared before the domain: ~TraceDomain detaches its sinks (finalizing
+  // the streamed file), so the sink must outlive the domain.
+  std::unique_ptr<FileStreamSink> stream_sink_;
   // Declared before the executor/engine/scheduler, which hold raw pointers
   // into it: reverse destruction order keeps the domain alive past them.
   TraceDomain telemetry_;

@@ -1,0 +1,122 @@
+#include "src/telemetry/file_stream_sink.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/telemetry/trace_domain.h"
+
+namespace cinder {
+
+FileStreamSink::~FileStreamSink() { Finish(nullptr); }
+
+bool FileStreamSink::Open(const std::string& path, const FileStreamSinkOptions& options,
+                          std::string* error) {
+  if (file_ != nullptr) {
+    Finish(nullptr);
+  }
+  path_ = path;
+  options_ = options;
+  ok_ = true;
+  error_.clear();
+  records_written_ = 0;
+  frames_written_ = 0;
+  domain_dropped_ = 0;
+  domain_writers_ = 0;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    ok_ = false;
+    error_ = "cannot open " + path + " for writing";
+    if (error != nullptr) {
+      *error = error_;
+    }
+    return false;
+  }
+  // Placeholder header: record_count 0 marks the stream "in flight" until
+  // Finish patches it (TraceReader treats the mismatch as truncation).
+  if (!WriteHeader(0, 0, 0)) {
+    if (error != nullptr) {
+      *error = error_;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool FileStreamSink::WriteHeader(uint64_t record_count, uint64_t dropped, uint32_t writers) {
+  TraceFileHeader h{};
+  std::memcpy(h.magic, kTraceFileMagic, sizeof(h.magic));
+  h.record_size = sizeof(TraceRecord);
+  h.writer_count = writers;
+  h.record_count = record_count;
+  h.dropped_records = dropped;
+  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+    ok_ = false;
+    error_ = "short header write to " + path_;
+    return false;
+  }
+  return true;
+}
+
+void FileStreamSink::OnRecord(const TraceRecord& r) {
+  if (file_ == nullptr || !ok_) {
+    return;
+  }
+  if (std::fwrite(&r, sizeof(TraceRecord), 1, file_) != 1) {
+    ok_ = false;
+    error_ = "short record write to " + path_;
+    return;
+  }
+  ++records_written_;
+}
+
+void FileStreamSink::OnFrame(uint64_t seq, const TraceDomain& domain) {
+  (void)seq;
+  if (file_ == nullptr || !ok_) {
+    return;
+  }
+  ++frames_written_;
+  domain_dropped_ = domain.dropped_records();
+  domain_writers_ = domain.writers();
+  if (options_.fsync_every_frames > 0 && frames_written_ % options_.fsync_every_frames == 0) {
+    if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+      ok_ = false;
+      error_ = "fsync failed on " + path_;
+    }
+  }
+}
+
+void FileStreamSink::OnDetach(const TraceDomain& domain) {
+  domain_dropped_ = domain.dropped_records();
+  domain_writers_ = domain.writers();
+  Finish(nullptr);
+}
+
+bool FileStreamSink::Finish(std::string* error) {
+  if (file_ == nullptr) {
+    if (error != nullptr && !ok_) {
+      *error = error_;
+    }
+    return ok_;
+  }
+  // Patch the header in place with the final counts; a reader of the closed
+  // file now sees exactly what a post-hoc WriteFile would have written.
+  if (ok_ && std::fseek(file_, 0, SEEK_SET) != 0) {
+    ok_ = false;
+    error_ = "seek failed on " + path_;
+  }
+  if (ok_) {
+    WriteHeader(records_written_, domain_dropped_, domain_writers_);
+  }
+  if (std::fclose(file_) != 0 && ok_) {
+    ok_ = false;
+    error_ = "close failed on " + path_;
+  }
+  file_ = nullptr;
+  if (!ok_ && error != nullptr) {
+    *error = error_;
+  }
+  return ok_;
+}
+
+}  // namespace cinder

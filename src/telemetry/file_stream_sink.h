@@ -1,0 +1,88 @@
+// FileStreamSink — incremental CNDTRC01 trace writer.
+//
+// Streams every record it receives to an append-only file as the run
+// executes, in the same on-disk format TraceDomain::WriteFile produces: a
+// TraceFileHeader followed by raw 32-byte records. The header is written as
+// a placeholder at Open (record_count = 0, the "not finalized" state) and
+// patched once at Finish with the final record/drop/writer counts, so:
+//
+//   - A finished stream of a complete run is byte-identical to a post-hoc
+//     WriteFile of a full-history spill (tests pin this), and any CNDTRC01
+//     consumer reads it unchanged.
+//   - A run killed mid-stream leaves a file whose header still says
+//     record_count = 0 while records follow on disk — TraceReader::LoadFile
+//     detects exactly that (and a partial trailing record) and returns a
+//     best-effort prefix parse with its `truncated` flag set.
+//
+// Durability is a policy knob, not a hot-path cost: records go through
+// stdio's buffer; fsync (if configured) happens every N frames on the flush
+// path. With fsync off the kernel page cache decides, which is the right
+// default for tmpfs targets and benchmarks.
+//
+// The sink is single-threaded like every TraceSink (flush-thread only) and
+// allocation-free per record. A write error latches: the sink stops writing,
+// ok() turns false, and Finish reports the first error.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/telemetry/trace_sink.h"
+
+namespace cinder {
+
+struct FileStreamSinkOptions {
+  // fsync the file every N frames; 0 = never (page cache only).
+  uint32_t fsync_every_frames = 0;
+};
+
+class FileStreamSink : public TraceSink {
+ public:
+  FileStreamSink() = default;
+  // Finishes (best-effort) if the owner never did.
+  ~FileStreamSink() override;
+
+  FileStreamSink(const FileStreamSink&) = delete;
+  FileStreamSink& operator=(const FileStreamSink&) = delete;
+
+  // Creates/truncates `path` and writes the placeholder header. Returns
+  // false (with a message) on failure; the sink is then inert.
+  bool Open(const std::string& path, const FileStreamSinkOptions& options = {},
+            std::string* error = nullptr);
+
+  // Patches the header with the final counts and closes the file.
+  // Idempotent; returns false if any write (including earlier streamed
+  // records) failed. Called automatically by OnDetach — RemoveSink or the
+  // domain's destruction finalizes the file.
+  bool Finish(std::string* error = nullptr);
+
+  bool is_open() const { return file_ != nullptr; }
+  // False once any write has failed (the file is unusable past that point).
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+  uint64_t records_written() const { return records_written_; }
+  uint64_t frames_written() const { return frames_written_; }
+
+  // TraceSink implementation (flush thread only).
+  void OnRecord(const TraceRecord& r) override;
+  void OnFrame(uint64_t seq, const TraceDomain& domain) override;
+  void OnDetach(const TraceDomain& domain) override;
+
+ private:
+  bool WriteHeader(uint64_t record_count, uint64_t dropped, uint32_t writers);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  FileStreamSinkOptions options_;
+  bool ok_ = true;
+  std::string error_;
+  uint64_t records_written_ = 0;
+  uint64_t frames_written_ = 0;
+  // Snapshot of the domain's loss/writer accounting, refreshed every frame
+  // (and at detach) so Finish can patch the header without a domain.
+  uint64_t domain_dropped_ = 0;
+  uint32_t domain_writers_ = 0;
+};
+
+}  // namespace cinder

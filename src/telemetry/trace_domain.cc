@@ -16,7 +16,55 @@ size_t RecordsForBytes(uint64_t bytes, size_t min_records) {
 }
 }  // namespace
 
+TraceDomain::~TraceDomain() {
+  if (cfg_.enabled && !sinks_.empty()) {
+    // Flush the tail only if a ring holds undrained records; an
+    // already-flushed domain must not append an empty trailing frame (that
+    // would break the streamed-file == WriteFile byte identity).
+    for (const auto& ring : rings_) {
+      if (ring->size() > 0) {
+        FlushFrame();
+        break;
+      }
+    }
+  }
+  DetachSinks();
+}
+
+void TraceDomain::AddSink(TraceSink* sink) {
+  if (!cfg_.enabled || sink == nullptr) {
+    return;
+  }
+  for (TraceSink* s : sinks_) {
+    if (s == sink) {
+      return;
+    }
+  }
+  sinks_.push_back(sink);
+  sink->OnAttach(*this);
+}
+
+void TraceDomain::RemoveSink(TraceSink* sink) {
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    if (sinks_[i] == sink) {
+      sinks_.erase(sinks_.begin() + static_cast<ptrdiff_t>(i));
+      sink->OnDetach(*this);
+      return;
+    }
+  }
+}
+
+void TraceDomain::DetachSinks() {
+  // Swap out first so a sink's OnDetach never observes itself still listed.
+  std::vector<TraceSink*> detached;
+  detached.swap(sinks_);
+  for (TraceSink* s : detached) {
+    s->OnDetach(*this);
+  }
+}
+
 void TraceDomain::Configure(const TelemetryConfig& cfg) {
+  DetachSinks();
   cfg_ = cfg;
   rings_.clear();
   spill_.clear();
@@ -24,13 +72,13 @@ void TraceDomain::Configure(const TelemetryConfig& cfg) {
   spill_size_ = 0;
   spill_dropped_ = 0;
   next_frame_ = 0;
+  spill_mask_ = 0;
   if (!cfg_.enabled) {
-    spill_mask_ = 0;
     return;
   }
-  const size_t cap = RecordsForBytes(cfg_.spill_bytes, 64);
-  spill_.resize(cap);
-  spill_mask_ = cap - 1;
+  // The spill itself is allocated lazily, on the first retained record: a
+  // domain whose frames all stream to sinks keeps no spill at all, which is
+  // what makes streaming-mode telemetry memory O(rings) for any run length.
   EnsureWriters(1);
 }
 
@@ -58,7 +106,13 @@ void TraceDomain::GrowSpill() {
 
 void TraceDomain::AppendSpill(const TraceRecord& r) {
   if (spill_size_ == spill_.size()) {
-    if (cfg_.spill_grow) {
+    if (spill_.empty()) {
+      // First retained record: allocate the configured capacity now (see
+      // Configure — streaming-only domains never reach here).
+      const size_t cap = RecordsForBytes(cfg_.spill_bytes, 64);
+      spill_.resize(cap);
+      spill_mask_ = cap - 1;
+    } else if (cfg_.spill_grow) {
       GrowSpill();
     } else {
       spill_head_ = (spill_head_ + 1) & spill_mask_;
@@ -70,9 +124,21 @@ void TraceDomain::AppendSpill(const TraceRecord& r) {
   ++spill_size_;
 }
 
+void TraceDomain::Deliver(const TraceRecord& r) {
+  if (!sinks_.empty()) {
+    for (TraceSink* s : sinks_) {
+      s->OnRecord(r);
+    }
+    if (!cfg_.retain_with_sinks) {
+      return;
+    }
+  }
+  AppendSpill(r);
+}
+
 void TraceDomain::EmitSpill(RecordKind kind, uint32_t actor, uint16_t aux, uint8_t flags,
                             int64_t v0, int64_t v1) {
-  if (!on(kind) || spill_.empty()) {
+  if (!cfg_.enabled || !on(kind)) {
     return;
   }
   TraceRecord r;
@@ -83,7 +149,7 @@ void TraceDomain::EmitSpill(RecordKind kind, uint32_t actor, uint16_t aux, uint8
   r.kind = static_cast<uint8_t>(kind);
   r.flags = flags;
   r.aux = aux;
-  AppendSpill(r);
+  Deliver(r);
 }
 
 uint64_t TraceDomain::FlushFrame() {
@@ -91,25 +157,31 @@ uint64_t TraceDomain::FlushFrame() {
     return 0;
   }
   for (auto& ring : rings_) {
-    ring->Drain([this](const TraceRecord& r) { AppendSpill(r); });
+    ring->Drain([this](const TraceRecord& r) { Deliver(r); });
   }
   const uint64_t seq = next_frame_++;
   TraceRecord mark;
   mark.time_us = time_us_;
   mark.v0 = static_cast<int64_t>(seq);
+  mark.v1 = static_cast<int64_t>(ring_dropped());
   mark.kind = static_cast<uint8_t>(RecordKind::kFrameMark);
   mark.aux = static_cast<uint16_t>(rings_.size());
-  AppendSpill(mark);
+  Deliver(mark);
+  for (TraceSink* s : sinks_) {
+    s->OnFrame(seq, *this);
+  }
   return seq;
 }
 
-uint64_t TraceDomain::dropped_records() const {
-  uint64_t dropped = spill_dropped_;
+uint64_t TraceDomain::ring_dropped() const {
+  uint64_t dropped = 0;
   for (const auto& ring : rings_) {
     dropped += ring->dropped();
   }
   return dropped;
 }
+
+uint64_t TraceDomain::dropped_records() const { return spill_dropped_ + ring_dropped(); }
 
 bool TraceDomain::WriteFile(const std::string& path, std::string* error) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -26,6 +26,7 @@
 
 #include "src/telemetry/trace_record.h"
 #include "src/telemetry/trace_ring.h"
+#include "src/telemetry/trace_sink.h"
 
 namespace cinder {
 
@@ -51,19 +52,52 @@ struct TelemetryConfig {
   // for offline analysis. Growth allocates, so steady state is only
   // alloc-free with this off.
   bool spill_grow = false;
+  // With sinks attached, FlushFrame hands records to the sinks *instead of*
+  // retaining them (the spill stays empty and telemetry memory is O(rings)
+  // for any run length). Set this to both stream and retain — e.g. to
+  // cross-check a streamed file against WriteFile byte-for-byte.
+  bool retain_with_sinks = false;
+  // Consumed by embeddings that own the domain (Simulator): a non-empty path
+  // attaches a FileStreamSink streaming the run to this file, finalized when
+  // the domain is destroyed. The domain itself never opens files. Ignored
+  // when `enabled` is false (no sink, no allocation).
+  std::string stream_path;
+  // FileStreamSink fsync cadence for the configured stream_path: fsync the
+  // file every N frames; 0 never fsyncs (page cache only — the default, and
+  // the right call for tmpfs or benchmarks).
+  uint32_t stream_fsync_frames = 0;
 };
 
 class TraceDomain {
  public:
   TraceDomain() = default;
   explicit TraceDomain(const TelemetryConfig& cfg) { Configure(cfg); }
+  // Flushes any pending ring records into one final frame (only if some
+  // exist — an already-flushed domain adds nothing), then detaches every
+  // sink (OnDetach), so a streamed file is finalized even when the embedding
+  // never detached explicitly.
+  ~TraceDomain();
 
   TraceDomain(const TraceDomain&) = delete;
   TraceDomain& operator=(const TraceDomain&) = delete;
 
-  // (Re)builds rings and spill from `cfg`. Existing contents are discarded.
-  // An enabled domain always has at least writer slot 0.
+  // (Re)builds rings and spill from `cfg`. Existing contents are discarded
+  // and any attached sinks are detached first (OnDetach). An enabled domain
+  // always has at least writer slot 0.
   void Configure(const TelemetryConfig& cfg);
+
+  // -- Sinks -------------------------------------------------------------------
+  // Attaches a streaming consumer (not owned; it must outlive the domain or
+  // be removed first). Records drained by subsequent FlushFrame calls are
+  // handed to every sink in attach order instead of being retained in the
+  // spill (unless TelemetryConfig::retain_with_sinks). A sink attached
+  // mid-run starts a fresh epoch: it sees nothing earlier, and its first
+  // frame mark carries the current sequence number. No-op (the sink is not
+  // registered) when the domain is disabled. Duplicate adds are ignored.
+  void AddSink(TraceSink* sink);
+  // Detaches (OnDetach) — for FileStreamSink this finalizes the file.
+  void RemoveSink(TraceSink* sink);
+  size_t sink_count() const { return sinks_.size(); }
 
   const TelemetryConfig& config() const { return cfg_; }
   bool enabled() const { return cfg_.enabled; }
@@ -102,17 +136,25 @@ class TraceDomain {
   void EmitSpill(RecordKind kind, uint32_t actor, uint16_t aux, uint8_t flags, int64_t v0,
                  int64_t v1);
 
-  // Drains every ring (slot order) into the spill and appends the frame
-  // mark. Returns the frame sequence number. No-op returning 0 when
-  // disabled.
+  // Drains every ring (slot order) and appends the frame mark — into the
+  // spill, or to the attached sinks (see AddSink). Returns the frame
+  // sequence number. No-op returning 0 when disabled.
   uint64_t FlushFrame();
 
   uint64_t frames_flushed() const { return next_frame_; }
   size_t spill_size() const { return spill_size_; }
+  // Allocated spill capacity in records. 0 until the first *retained* record
+  // (the spill is lazy): a streaming-only domain keeps it at 0 forever,
+  // which is the O(ring)-memory guarantee tests pin.
+  size_t spill_capacity() const { return spill_.size(); }
   // Loss accounting: ring overwrites plus spill drop-oldest evictions. A
   // nonzero value means the retained stream is a suffix of the run.
   uint64_t dropped_records() const;
   uint64_t spill_dropped() const { return spill_dropped_; }
+  // Ring overwrites alone (records lost before a flush could drain them).
+  // Also stamped cumulatively into each kFrameMark's v1, so file consumers
+  // can tell ring loss from spill eviction per frame.
+  uint64_t ring_dropped() const;
 
   // FIFO over the retained spill records.
   template <typename Fn>
@@ -129,8 +171,14 @@ class TraceDomain {
  private:
   void AppendSpill(const TraceRecord& r);
   void GrowSpill();
+  // Routes one drained/spill-direct record: to the sinks when any are
+  // attached (plus the spill under retain_with_sinks), to the spill alone
+  // otherwise.
+  void Deliver(const TraceRecord& r);
+  void DetachSinks();
 
   TelemetryConfig cfg_;
+  std::vector<TraceSink*> sinks_;  // Not owned; attach order.
   std::vector<std::unique_ptr<TraceRing>> rings_;
   std::vector<TraceRecord> spill_;  // Power-of-two ring, like TraceRing.
   size_t spill_mask_ = 0;

@@ -22,6 +22,7 @@ void TraceReader::Index() {
   total_tap_flow_ = 0;
   total_decay_flow_ = 0;
   frames_ = 0;
+  ring_dropped_ = 0;
   for (const TraceRecord& r : records_) {
     if (r.kind < kNumKinds) {
       ++kind_counts_[r.kind];
@@ -31,6 +32,11 @@ void TraceReader::Index() {
       total_decay_flow_ += r.v1;
     } else if (IsKind(r, RecordKind::kFrameMark)) {
       ++frames_;
+      // Recover the ring-drop share from the marks' cumulative v1 stamp
+      // (zero in pre-stamp files, which then report all drops as spill).
+      if (static_cast<uint64_t>(r.v1) > ring_dropped_) {
+        ring_dropped_ = static_cast<uint64_t>(r.v1);
+      }
     }
   }
 }
@@ -42,6 +48,8 @@ TraceReader TraceReader::FromDomain(const TraceDomain& domain) {
   reader.dropped_ = domain.dropped_records();
   reader.writer_count_ = domain.writers();
   reader.Index();
+  // The domain's split is exact; override whatever the marks implied.
+  reader.ring_dropped_ = domain.ring_dropped();
   return reader;
 }
 
@@ -64,21 +72,45 @@ bool TraceReader::LoadFile(const std::string& path, TraceReader* out, std::strin
     }
     return false;
   }
-  out->records_.resize(h.record_count);
-  if (h.record_count > 0) {
-    ok = std::fread(out->records_.data(), sizeof(TraceRecord), h.record_count, f) ==
-         h.record_count;
+  // Size the parse from the bytes actually on disk, never from the header
+  // count: a stream cut mid-run has a placeholder header (record_count 0)
+  // with records following, and a chopped file has fewer bytes than the
+  // header promises. Either way every whole record is loaded and the
+  // mismatch marks the reader truncated instead of failing (or worse,
+  // trusting a count the disk cannot back).
+  long data_end = 0;
+  ok = std::fseek(f, 0, SEEK_END) == 0 && (data_end = std::ftell(f)) >= 0 &&
+       std::fseek(f, sizeof(TraceFileHeader), SEEK_SET) == 0;
+  if (!ok) {
+    std::fclose(f);
+    if (error != nullptr) {
+      *error = path + ": unseekable trace file";
+    }
+    return false;
+  }
+  const uint64_t data_bytes = static_cast<uint64_t>(data_end) - sizeof(TraceFileHeader);
+  const uint64_t on_disk = data_bytes / sizeof(TraceRecord);
+  const bool partial_tail = data_bytes % sizeof(TraceRecord) != 0;
+  out->records_.resize(on_disk);
+  if (on_disk > 0) {
+    ok = std::fread(out->records_.data(), sizeof(TraceRecord), on_disk, f) == on_disk;
   }
   std::fclose(f);
   if (!ok) {
     if (error != nullptr) {
-      *error = path + ": truncated record stream";
+      *error = path + ": short read of record stream";
     }
     return false;
   }
+  out->truncated_ = partial_tail || h.record_count != on_disk;
   out->dropped_ = h.dropped_records;
   out->writer_count_ = h.writer_count;
   out->Index();
+  // An unfinalized header may undercount drops; the marks' cumulative ring
+  // stamp is a floor (keeps ring + spill == dropped()).
+  if (out->ring_dropped_ > out->dropped_) {
+    out->dropped_ = out->ring_dropped_;
+  }
   return true;
 }
 

@@ -24,14 +24,30 @@ class TraceReader {
   // Snapshots the domain's retained spill (flush pending rings first if the
   // tail of the run matters — Simulator and the examples do).
   static TraceReader FromDomain(const TraceDomain& domain);
-  // Loads a WriteFile dump. Returns false (with a message) on a missing
-  // file, bad magic, or a record-size mismatch.
+  // Loads a WriteFile dump or a FileStreamSink stream. Returns false (with a
+  // message) only on a missing/unreadable file, bad magic, or a record-size
+  // mismatch. A file whose on-disk records disagree with its header count —
+  // a run killed mid-stream (unfinalized placeholder header), or a file
+  // chopped mid-record — parses best-effort: every whole record on disk is
+  // loaded and truncated() turns true, so consumers can analyze the prefix
+  // while knowing the stream is provably incomplete.
   static bool LoadFile(const std::string& path, TraceReader* out, std::string* error = nullptr);
 
   const std::vector<TraceRecord>& records() const { return records_; }
   // Frames retained (kFrameMark count) and the stream's loss accounting.
   uint64_t frames() const { return frames_; }
   uint64_t dropped() const { return dropped_; }
+  // The drop split: ring overwrites (lost before a flush drained them)
+  // vs spill drop-oldest evictions. Exact from a domain; from a file the
+  // ring share is recovered from the frame marks' cumulative v1 stamp
+  // (pre-PR-8 files report every drop as spill). ring + spill == dropped().
+  uint64_t ring_dropped() const { return ring_dropped_; }
+  uint64_t spill_dropped() const { return dropped_ - ring_dropped_; }
+  // True when LoadFile detected an incomplete stream (see LoadFile).
+  bool truncated() const { return truncated_; }
+  // A provably complete stream: nothing dropped, nothing truncated — the
+  // precondition for bit-for-bit cross-checks against engine counters.
+  bool complete() const { return !truncated_ && dropped_ == 0; }
   uint32_t writer_count() const { return writer_count_; }
   // Per-kind record counts, indexed by RecordKind.
   const std::vector<uint64_t>& kind_counts() const { return kind_counts_; }
@@ -117,6 +133,8 @@ class TraceReader {
   int64_t total_decay_flow_ = 0;
   uint64_t frames_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t ring_dropped_ = 0;
+  bool truncated_ = false;
   uint32_t writer_count_ = 0;
 };
 

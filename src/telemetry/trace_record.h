@@ -23,9 +23,11 @@ namespace cinder {
 enum class RecordKind : uint8_t {
   // Frame boundary, written by TraceDomain::FlushFrame after the rings
   // drain: v0 = frame sequence number, time_us = the domain clock at flush,
-  // aux = number of writer rings drained. Records since the previous mark
-  // belong to the frame this mark closes (one tap batch, in the engine's
-  // wiring).
+  // aux = number of writer rings drained, v1 = cumulative ring-overwrite
+  // drops at flush time (so stream consumers can bound per-frame loss
+  // without the domain; pre-PR-8 files carry 0 here). Records since the
+  // previous mark belong to the frame this mark closes (one tap batch, in
+  // the engine's wiring).
   kFrameMark = 0,
   // Per shard per batch: actor = shard index, v0 = tap flow (nJ),
   // v1 = decay flow (nJ). The sum over all records equals the engine's

@@ -11,6 +11,12 @@
 //   energytrace <trace-file>                 summary + totals + tables
 //   energytrace <trace-file> --timeline N    also print shard N's timeline
 //   energytrace <trace-file> --taps          also print per-tap flows
+//   energytrace <trace-file> --follow        tail a streaming trace until it
+//                                            finalizes, then summarize
+//   energytrace <trace-file> --poll-ms N     follow poll cadence (default 200)
+//
+// Exits 0 on success, 1 on a read error, 2 on a usage error (unknown flag,
+// missing file argument).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 
 #include "src/telemetry/trace_reader.h"
 #include "src/telemetry/trace_record.h"
+#include "tools/trace_follow.h"
 
 namespace {
 
@@ -45,28 +52,72 @@ const char* KindName(uint8_t kind) {
 double Mj(int64_t nj) { return static_cast<double>(nj) / 1e6; }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <trace-file> [--timeline SHARD] [--taps]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s <trace-file> [--timeline SHARD] [--taps] [--follow] [--poll-ms N]\n",
+               argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // The file argument is positional and never dash-prefixed: a leading-dash
+  // first argument is a (possibly misspelled) flag, not a path.
+  if (argc < 2 || argv[1][0] == '-') {
     return Usage(argv[0]);
   }
   const std::string path = argv[1];
   bool want_timeline = false;
   uint32_t timeline_shard = 0;
   bool want_taps = false;
+  bool follow = false;
+  uint32_t poll_ms = 200;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
       want_timeline = true;
       timeline_shard = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--taps") == 0) {
       want_taps = true;
+    } else if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--poll-ms") == 0 && i + 1 < argc) {
+      poll_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
+    }
+  }
+
+  if (follow) {
+    // Tail the streaming file until its writer finalizes the header (or the
+    // stream stops growing), reporting progress per flushed frame batch;
+    // the full summary below then reads the settled file.
+    uint64_t live_records = 0;
+    uint64_t live_frames = 0;
+    std::string error;
+    const cinder::tools::FollowOptions opts{poll_ms, /*idle_timeout_ms=*/10'000,
+                                            /*once=*/false};
+    const auto result = cinder::tools::FollowTraceFile(
+        path, opts,
+        [&](const cinder::TraceRecord& r) {
+          ++live_records;
+          if (r.kind == static_cast<uint8_t>(cinder::RecordKind::kFrameMark)) {
+            if (++live_frames % 64 == 0) {
+              std::fprintf(stderr, "energytrace: following %s: %" PRIu64 " frames, %" PRIu64
+                                   " records...\n",
+                           path.c_str(), live_frames, live_records);
+            }
+          }
+        },
+        &error);
+    if (result == cinder::tools::FollowResult::kError) {
+      std::fprintf(stderr, "energytrace: %s\n", error.c_str());
+      return 1;
+    }
+    if (result == cinder::tools::FollowResult::kIdleTimeout) {
+      std::fprintf(stderr,
+                   "energytrace: %s stopped growing without finalizing; summarizing the "
+                   "truncated prefix\n",
+                   path.c_str());
     }
   }
 
@@ -78,11 +129,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("trace: %s\n", path.c_str());
-  std::printf("  records %zu, frames %" PRIu64 ", writers %u, dropped %" PRIu64 "\n",
+  std::printf("  records %zu, frames %" PRIu64 ", writers %u, dropped %" PRIu64
+              " (ring %" PRIu64 ", spill %" PRIu64 ")\n",
               reader.records().size(), reader.frames(), reader.writer_count(),
-              reader.dropped());
-  if (reader.dropped() > 0) {
+              reader.dropped(), reader.ring_dropped(), reader.spill_dropped());
+  if (reader.truncated()) {
+    std::printf("  TRUNCATED stream: the writer never finalized this file (or it was "
+                "chopped); totals cover the parsed prefix only\n");
+  } else if (reader.dropped() > 0) {
     std::printf("  (dropped records: totals below undercount the run)\n");
+  }
+  if (reader.complete()) {
+    std::printf("  complete stream: totals are bit-for-bit engine counters\n");
   }
   const auto& counts = reader.kind_counts();
   for (size_t k = 0; k < counts.size(); ++k) {

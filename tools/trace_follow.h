@@ -1,0 +1,127 @@
+// Shared tail-follow loop over a streaming CNDTRC01 trace file — used by
+// energytrace --follow and energytop.
+//
+// A FileStreamSink writes records append-only behind a placeholder header
+// (record_count 0) and patches the header once at Finish. The follower
+// exploits exactly that: it polls the file, delivers every newly complete
+// 32-byte record to the callback, and re-reads the header each round —
+// when the header's record count matches what the disk holds, the stream
+// is finalized and the follow ends. A file that stops growing without
+// finalizing (writer killed) ends the follow as kIdleTimeout so consumers
+// can report a truncated stream instead of hanging forever.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/telemetry/trace_domain.h"
+#include "src/telemetry/trace_record.h"
+
+namespace cinder {
+namespace tools {
+
+struct FollowOptions {
+  uint32_t poll_ms = 200;
+  // Give up after this long with no new bytes and no finalized header.
+  // 0 = poll forever. Ignored in `once` mode.
+  uint32_t idle_timeout_ms = 10'000;
+  // Read every record currently on disk, then return without polling —
+  // the non-interactive mode (CI smoke tests, --once).
+  bool once = false;
+};
+
+enum class FollowResult {
+  kFinalized,    // Header count matches the records delivered: complete.
+  kIdleTimeout,  // Stream stopped growing while still unfinalized.
+  kError,        // Unreadable file / bad magic / record-size mismatch.
+};
+
+// Tails `path`, invoking on_record(const TraceRecord&) for each whole
+// record in stream order. In `once` mode returns after one sweep
+// (kFinalized only if the header already matched).
+template <typename OnRecord>
+FollowResult FollowTraceFile(const std::string& path, const FollowOptions& opt,
+                             OnRecord&& on_record, std::string* error = nullptr) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return FollowResult::kError;
+  }
+  TraceFileHeader h{};
+  if (std::fread(&h, sizeof(h), 1, f) != 1 ||
+      std::memcmp(h.magic, kTraceFileMagic, sizeof(h.magic)) != 0 ||
+      h.record_size != sizeof(TraceRecord)) {
+    std::fclose(f);
+    if (error != nullptr) {
+      *error = path + ": not a Cinder trace (bad magic or record size)";
+    }
+    return FollowResult::kError;
+  }
+  uint64_t delivered = 0;
+  uint32_t idle_ms = 0;
+  for (;;) {
+    // Sweep: everything complete on disk beyond what we've delivered.
+    long end = 0;
+    if (std::fseek(f, 0, SEEK_END) != 0 || (end = std::ftell(f)) < 0) {
+      std::fclose(f);
+      if (error != nullptr) {
+        *error = path + ": unseekable";
+      }
+      return FollowResult::kError;
+    }
+    const uint64_t on_disk =
+        (static_cast<uint64_t>(end) - sizeof(TraceFileHeader)) / sizeof(TraceRecord);
+    bool grew = false;
+    if (on_disk > delivered) {
+      grew = true;
+      std::fseek(f, static_cast<long>(sizeof(TraceFileHeader) + delivered * sizeof(TraceRecord)),
+                 SEEK_SET);
+      TraceRecord buf[256];
+      while (delivered < on_disk) {
+        const size_t want = static_cast<size_t>(
+            std::min<uint64_t>(on_disk - delivered, sizeof(buf) / sizeof(buf[0])));
+        const size_t got = std::fread(buf, sizeof(TraceRecord), want, f);
+        for (size_t i = 0; i < got; ++i) {
+          on_record(buf[i]);
+        }
+        delivered += got;
+        if (got < want) {
+          break;  // Racing the writer; the next sweep retries.
+        }
+      }
+    }
+    // Finalized? The writer patches record_count last, so a nonzero count
+    // matching what we delivered means the stream is complete. A zero count
+    // is ambiguous (placeholder header vs an empty finalized run), so
+    // follow mode resolves it through the idle timeout, never eagerly.
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(&h, sizeof(h), 1, f) == 1 && h.record_count == delivered &&
+        h.record_count > 0) {
+      std::fclose(f);
+      return FollowResult::kFinalized;
+    }
+    if (opt.once) {
+      std::fclose(f);
+      return h.record_count == delivered ? FollowResult::kFinalized
+                                         : FollowResult::kIdleTimeout;
+    }
+    if (grew) {
+      idle_ms = 0;
+    } else {
+      idle_ms += opt.poll_ms;
+      if (opt.idle_timeout_ms > 0 && idle_ms >= opt.idle_timeout_ms) {
+        std::fclose(f);
+        return FollowResult::kIdleTimeout;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.poll_ms));
+  }
+}
+
+}  // namespace tools
+}  // namespace cinder
