@@ -381,6 +381,56 @@ void BM_SimulatorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorStep);
 
+// The pick cost the K-quanta plans amortize: an idle-heavy fleet (one funded
+// spinner among N-1 energyless threads) where every single-quantum PickNext
+// is a full O(N) scan that mostly counts denials. Compare against
+// BM_SimStepBatched below, which replays the same decision from a plan.
+void BM_SchedPick(benchmark::State& state) {
+  const int n_threads = static_cast<int>(state.range(0));
+  Kernel k;
+  EnergyAwareScheduler sched(&k);
+  Reserve* funded = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "funded");
+  funded->Deposit(INT64_MAX / 2);
+  Reserve* empty = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "empty");
+  for (int i = 0; i < n_threads; ++i) {
+    Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+    t->set_active_reserve(i == 0 ? funded->id() : empty->id());
+    sched.AddThread(t->id());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.PickNext(SimTime::Zero()));
+  }
+}
+BENCHMARK(BM_SchedPick)->Arg(32)->Arg(128);
+
+// Per-quantum cost of the batched stepper on an idle-heavy fleet (the
+// fleet-scenario steady state: most threads energyless, a couple runnable)
+// at plan horizons K in {1, 16, 64}. Results are bit-identical across K
+// (golden-tested); only the per-quantum overhead moves. items_per_second is
+// quanta per second — the honest single-CPU number for docs/PERFORMANCE.md.
+void BM_SimStepBatched(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.decay_enabled = false;
+  cfg.exec.sched_plan_quanta = static_cast<uint32_t>(state.range(0));
+  Simulator sim(cfg);
+  Kernel& k = sim.kernel();
+  for (int i = 0; i < 32; ++i) {
+    auto proc = sim.CreateProcess("p" + std::to_string(i));
+    Reserve* r = k.Create<Reserve>(proc.container, Label(Level::k1), "r");
+    if (i < 2) {
+      r->Deposit(INT64_MAX / 4);  // Two spinners stay runnable; 30 starve.
+    }
+    k.LookupTyped<Thread>(proc.thread)->set_active_reserve(r->id());
+    sim.AttachBody(proc.thread, std::make_unique<SpinBody>());
+  }
+  constexpr int64_t kQuantaPerIter = 64;
+  for (auto _ : state) {
+    sim.Run(Duration::Millis(kQuantaPerIter));
+  }
+  state.SetItemsProcessed(state.iterations() * kQuantaPerIter);
+}
+BENCHMARK(BM_SimStepBatched)->ArgName("K")->Arg(1)->Arg(16)->Arg(64);
+
 void BM_ObjectCreateDelete(benchmark::State& state) {
   Kernel k;
   for (auto _ : state) {

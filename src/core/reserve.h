@@ -85,6 +85,7 @@ class Reserve final : public KernelObject {
     }
     set_level(lvl - amount);
     consumed_ += amount;
+    NoteOp();
     return Status::kOk;
   }
 
@@ -99,6 +100,7 @@ class Reserve final : public KernelObject {
     }
     set_level(lvl - take);
     consumed_ += take;
+    NoteOp();
     return take;
   }
 
@@ -112,6 +114,12 @@ class Reserve final : public KernelObject {
   // ConsumeUpTo for callers holding a cached level_cell(): identical
   // semantics (consumed_ accounting included) without re-testing bank
   // attachment on every call. `cell` must be this reserve's current cell.
+  //
+  // Deliberately does NOT bump the kernel reserve-op epoch: this is the
+  // planned-billing path. The scheduler's run plan already simulated these
+  // draws at build time, so they must not invalidate the plan's remainder —
+  // every other mutation path (Deposit/Withdraw/Consume/ConsumeUpTo, tap
+  // batches) is out-of-band from the plan's point of view and bumps.
   Quantity ConsumeUpToAt(Quantity* cell, Quantity amount) {
     const Quantity lvl = *cell;
     Quantity take = lvl < amount ? lvl : amount;
@@ -128,6 +136,7 @@ class Reserve final : public KernelObject {
     const bool was_empty = lvl <= 0;
     set_level(lvl + amount);
     add_deposited(amount);
+    NoteOp();
     if (was_empty && level() > 0 && decay_listener_ != nullptr) {
       decay_listener_->OnReserveDecayable(this);
     }
@@ -141,6 +150,7 @@ class Reserve final : public KernelObject {
       take = 0;
     }
     set_level(lvl - take);
+    NoteOp();
     return take;
   }
 
@@ -198,6 +208,11 @@ class Reserve final : public KernelObject {
   const ReserveStateBank* bank() const { return bank_; }
   uint32_t bank_slot() const { return bank_slot_; }
 
+  // The kernel wires every reserve to its fleet-wide reserve-op epoch at
+  // insertion (Kernel::reserve_op_epoch): named level mutations bump it so
+  // out-of-band deposits/withdrawals cut the scheduler's run plan.
+  void AttachOpEpoch(uint64_t* epoch) { op_epoch_ = epoch; }
+
   // -- Decay skip-list wiring (TapEngine only) ----------------------------------
   // The listener pointer and the shard whose decay list this reserve belongs
   // to stay on the object (they are cold); the membership flag lives in the
@@ -223,6 +238,12 @@ class Reserve final : public KernelObject {
   }
 
  private:
+  void NoteOp() {
+    if (op_epoch_ != nullptr) {
+      ++*op_epoch_;
+    }
+  }
+
   void set_level(Quantity v) {
     if (bank_ != nullptr) {
       bank_->set_level(bank_slot_, v);
@@ -245,6 +266,7 @@ class Reserve final : public KernelObject {
   double decay_carry_ = 0.0;
   ReserveStateBank* bank_ = nullptr;
   uint32_t bank_slot_ = kNoBankSlot;
+  uint64_t* op_epoch_ = nullptr;
   ReserveDecayListener* decay_listener_ = nullptr;
   uint32_t decay_shard_ = 0;
   bool in_decay_list_ = false;

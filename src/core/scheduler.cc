@@ -20,6 +20,8 @@ void EnergyAwareScheduler::AddThread(ObjectId thread_id) {
   }
   threads_.push_back(thread_id);
   cache_valid_ = false;
+  // Plan entries store indices and cursor math modulo the old queue size.
+  InvalidatePlan();
 }
 
 void EnergyAwareScheduler::RefreshCache() {
@@ -69,7 +71,16 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now) {
 
 ObjectId EnergyAwareScheduler::PickNext(SimTime now,
                                         const std::function<bool(ObjectId)>& eligible) {
+  // A direct scan moves the cursor and wakes sleepers underneath any live
+  // plan; cut it rather than let the two decision paths interleave.
+  InvalidatePlan();
+  ++plan_stats_.single_step_picks;
   if (threads_.empty()) {
+    // An empty run queue is the degenerate idle quantum; emit the actor-0
+    // record EmitPick documents so trace consumers see every quantum.
+    if (telemetry_ != nullptr) {
+      EmitPick(now, kInvalidObjectId, 0);
+    }
     return kInvalidObjectId;
   }
   if (!cache_valid_ || cache_epoch_ != kernel_->mutation_epoch()) {
@@ -111,23 +122,34 @@ ObjectId EnergyAwareScheduler::PickNext(SimTime now,
     rr_cursor_ = (idx + 1) % n;
     last_pick_ = idx;
     if (telemetry_ != nullptr) {
-      EmitPick(now, threads_[idx]);
+      EmitPick(now, threads_[idx], 0);
     }
     return threads_[idx];
   }
   if (telemetry_ != nullptr) {
-    EmitPick(now, kInvalidObjectId);
+    EmitPick(now, kInvalidObjectId, 0);
   }
   return kInvalidObjectId;
 }
 
-void EnergyAwareScheduler::EmitPick(SimTime now, ObjectId picked) {
+void EnergyAwareScheduler::EmitPick(SimTime now, ObjectId picked, uint8_t flags) {
   if (!telemetry_->on(RecordKind::kSchedPick)) {
     return;
   }
   if (TraceRing* ring = telemetry_->ring(0)) {
     // kInvalidObjectId (0) doubles as the idle marker.
-    ring->Emit(now.us(), RecordKind::kSchedPick, static_cast<uint32_t>(picked), 0, 0, 0, 0);
+    ring->Emit(now.us(), RecordKind::kSchedPick, static_cast<uint32_t>(picked), 0, flags, 0, 0);
+  }
+}
+
+void EnergyAwareScheduler::EmitPlanBuild(SimTime now, size_t planned, uint32_t requested,
+                                         uint8_t end_reason) {
+  if (!telemetry_->on(RecordKind::kSchedPlanBuild)) {
+    return;
+  }
+  if (TraceRing* ring = telemetry_->ring(0)) {
+    ring->Emit(now.us(), RecordKind::kSchedPlanBuild, 0, 0, end_reason,
+               static_cast<int64_t>(planned), static_cast<int64_t>(requested));
   }
 }
 
@@ -244,6 +266,224 @@ Energy EnergyAwareScheduler::ChargeCpu(Thread& t, Energy cost) {
   return billed;
 }
 
+void EnergyAwareScheduler::InvalidatePlan() {
+  if (plan_pos_ < plan_.size()) {
+    plan_stats_.quanta_discarded += plan_.size() - plan_pos_;
+  }
+  plan_.clear();
+  plan_denied_.clear();
+  plan_wakes_.clear();
+  plan_pos_ = 0;
+}
+
+uint32_t EnergyAwareScheduler::BoundIndexFor(Quantity* cell) {
+  for (size_t b = 0; b < plan_bounds_.size(); ++b) {
+    if (plan_bounds_[b].cell == cell) {
+      return static_cast<uint32_t>(b);
+    }
+  }
+  plan_bounds_.push_back(CellBound{cell, *cell, *cell});
+  return static_cast<uint32_t>(plan_bounds_.size() - 1);
+}
+
+size_t EnergyAwareScheduler::BuildPlan(SimTime now, const SchedPlanParams& p) {
+  InvalidatePlan();
+  if (p.max_quanta == 0 || threads_.empty() || p.cost_hi < p.cost_lo) {
+    return 0;
+  }
+  if (!cache_valid_ || cache_epoch_ != kernel_->mutation_epoch()) {
+    RefreshCache();
+  }
+  const size_t n = threads_.size();
+  uint64_t cap = p.max_quanta;
+  uint8_t end_reason = kSchedPlanEndHorizon;
+  scan_members_.clear();
+  plan_bounds_.clear();
+  member_bounds_.clear();
+
+  // Pass 1: classify every thread once. Runnable threads and already-due
+  // sleepers join the scan set (in index order, so the circular walk below
+  // matches PickNext's); a not-yet-due sleeper instead caps the horizon at
+  // the quantum its deadline enters the window — entry k simulates time
+  // now + k*quantum, so the plan must stop strictly before the first k with
+  // wake_time <= now + k*quantum. Blocked/halted threads cannot change
+  // state without a sched-epoch bump, so skipping them is safe.
+  for (size_t i = 0; i < n; ++i) {
+    Thread* t = thread_cache_[i];
+    if (t == nullptr) {
+      continue;
+    }
+    const ThreadState st = t->state();
+    bool due = false;
+    if (st == ThreadState::kSleeping) {
+      if (t->wake_time() <= now) {
+        due = true;
+      } else {
+        const int64_t dt = t->wake_time().us() - now.us();
+        const int64_t q = p.quantum.us();
+        const uint64_t until =
+            q > 0 ? (static_cast<uint64_t>(dt) + static_cast<uint64_t>(q) - 1) /
+                        static_cast<uint64_t>(q)
+                  : 1;
+        if (until < cap) {
+          cap = until;
+          end_reason = kSchedPlanEndSleeper;
+        }
+        continue;
+      }
+    } else if (st != ThreadState::kRunnable) {
+      continue;
+    }
+    ScanMember m;
+    m.idx = static_cast<uint32_t>(i);
+    m.due_sleeper = due;
+    m.eligible = p.eligible == nullptr || (*p.eligible)(threads_[i]);
+    ThreadEnergy& e = energy_cache_[i];
+    if (e.reserve_epoch != t->reserve_epoch()) {
+      RefreshThreadEnergy(e, *t);
+    }
+    m.bounds_begin = static_cast<uint32_t>(member_bounds_.size());
+    for (Quantity* cell : e.cells) {
+      member_bounds_.push_back(BoundIndexFor(cell));
+    }
+    m.bounds_count = static_cast<uint32_t>(member_bounds_.size()) - m.bounds_begin;
+    m.active_bound = e.active_cell != nullptr ? BoundIndexFor(e.active_cell) : kNoBound;
+    scan_members_.push_back(m);
+  }
+  const uint32_t baseline_bound = p.baseline_reserve != nullptr && p.baseline_drain > 0
+                                      ? BoundIndexFor(p.baseline_reserve->level_cell())
+                                      : kNoBound;
+
+  // Pass 2: simulate the quanta. Each quantum replays the PickNext scan
+  // order over the scan set from the speculative cursor, records the wake
+  // and denied side effects it would have, and requires every decision to be
+  // certain under the whole cost bracket: a winner needs some cell lo > 0
+  // AND an active reserve whose lo covers cost_hi alone (so billing cannot
+  // spill or take debt); a denial needs every cell hi <= 0. Anything in
+  // between ends the plan before this quantum.
+  const size_t m_count = scan_members_.size();
+  uint64_t spec_epoch = kernel_->sched_epoch();
+  size_t spec_cursor = rr_cursor_;
+  for (uint64_t qn = 0; qn < cap && end_reason != kSchedPlanEndUncertain; ++qn) {
+    PlanEntry entry;
+    entry.denied_begin = static_cast<uint32_t>(plan_denied_.size());
+    entry.wake_begin = static_cast<uint32_t>(plan_wakes_.size());
+    entry.sched_epoch = spec_epoch;
+    size_t start = 0;
+    while (start < m_count && scan_members_[start].idx < spec_cursor) {
+      ++start;
+    }
+    for (size_t step = 0; step < m_count && entry.pick == kNoPick; ++step) {
+      ScanMember& m = scan_members_[(start + step) % m_count];
+      if (m.due_sleeper && !m.woken) {
+        m.woken = true;
+        plan_wakes_.push_back(m.idx);
+      }
+      if (!m.eligible) {
+        continue;
+      }
+      bool lo_any = false;
+      bool hi_any = false;
+      for (uint32_t b = 0; b < m.bounds_count; ++b) {
+        const CellBound& cb = plan_bounds_[member_bounds_[m.bounds_begin + b]];
+        lo_any = lo_any || cb.lo > 0;
+        hi_any = hi_any || cb.hi > 0;
+      }
+      if (lo_any) {
+        if (m.active_bound == kNoBound || plan_bounds_[m.active_bound].lo < p.cost_hi) {
+          end_reason = kSchedPlanEndUncertain;
+          break;
+        }
+        entry.pick = m.idx;
+        // Charge the bracket onto the active cell: lo >= cost_hi, so neither
+        // trajectory clamps and the interval stays exact.
+        CellBound& ab = plan_bounds_[m.active_bound];
+        ab.lo -= p.cost_hi;
+        ab.hi -= p.cost_lo;
+      } else if (!hi_any) {
+        plan_denied_.push_back(m.idx);
+      } else {
+        end_reason = kSchedPlanEndUncertain;
+        break;
+      }
+    }
+    if (end_reason == kSchedPlanEndUncertain) {
+      // Roll back this quantum's recorded side effects; earlier entries stand.
+      plan_denied_.resize(entry.denied_begin);
+      plan_wakes_.resize(entry.wake_begin);
+      break;
+    }
+    entry.denied_count = static_cast<uint32_t>(plan_denied_.size()) - entry.denied_begin;
+    entry.wake_count = static_cast<uint32_t>(plan_wakes_.size()) - entry.wake_begin;
+    if (entry.pick != kNoPick) {
+      spec_cursor = (entry.pick + 1) % n;
+    }
+    spec_epoch += entry.wake_count;
+    // The baseline tick drains after the quantum; ConsumeUpTo's update is
+    // monotone in the level, so applying it to each endpoint is exact.
+    if (baseline_bound != kNoBound) {
+      CellBound& bb = plan_bounds_[baseline_bound];
+      const Quantity lo_take =
+          bb.lo < p.baseline_drain ? (bb.lo < 0 ? 0 : bb.lo) : p.baseline_drain;
+      const Quantity hi_take =
+          bb.hi < p.baseline_drain ? (bb.hi < 0 ? 0 : bb.hi) : p.baseline_drain;
+      bb.lo -= lo_take;
+      bb.hi -= hi_take;
+    }
+    plan_.push_back(entry);
+  }
+  plan_pos_ = 0;
+  plan_mutation_epoch_ = kernel_->mutation_epoch();
+  plan_reserve_op_epoch_ = kernel_->reserve_op_epoch();
+  ++plan_stats_.plans_built;
+  plan_stats_.quanta_planned += plan_.size();
+  if (telemetry_ != nullptr) {
+    EmitPlanBuild(now, plan_.size(), p.max_quanta, end_reason);
+  }
+  return plan_.size();
+}
+
+bool EnergyAwareScheduler::PlanCurrent() const {
+  return plan_pos_ < plan_.size() && cache_valid_ &&
+         plan_mutation_epoch_ == kernel_->mutation_epoch() &&
+         plan_reserve_op_epoch_ == kernel_->reserve_op_epoch() &&
+         plan_[plan_pos_].sched_epoch == kernel_->sched_epoch();
+}
+
+bool EnergyAwareScheduler::TryPlannedPick(SimTime now, ObjectId* picked) {
+  if (plan_pos_ >= plan_.size()) {
+    return false;
+  }
+  if (!PlanCurrent()) {
+    ++plan_stats_.plans_cut;
+    InvalidatePlan();
+    return false;
+  }
+  const PlanEntry& e = plan_[plan_pos_];
+  // Replay: exactly the side effects the PickNext scan would have had this
+  // quantum, via plain array walks. The Wake() calls below bump the kernel
+  // sched epoch once each — the next entry's expected epoch pre-counts them.
+  for (uint32_t i = 0; i < e.wake_count; ++i) {
+    thread_cache_[plan_wakes_[e.wake_begin + i]]->Wake();
+  }
+  for (uint32_t i = 0; i < e.denied_count; ++i) {
+    thread_cache_[plan_denied_[e.denied_begin + i]]->IncrementQuantaDenied();
+  }
+  ObjectId result = kInvalidObjectId;
+  if (e.pick != kNoPick) {
+    rr_cursor_ = (e.pick + 1) % threads_.size();
+    last_pick_ = e.pick;  // Arms the ChargeCpu cached-cell hot path.
+    result = threads_[e.pick];
+  }
+  ++plan_pos_;
+  ++plan_stats_.quanta_replayed;
+  if (telemetry_ != nullptr) {
+    EmitPick(now, result, kSchedPickPlanned);
+  }
+  *picked = result;
+  return true;
+}
+
 void EnergyAwareScheduler::OnObjectDeleted(ObjectId id, ObjectType type) {
   if (type != ObjectType::kThread) {
     return;
@@ -263,6 +503,7 @@ void EnergyAwareScheduler::OnObjectDeleted(ObjectId id, ObjectType type) {
   }
   // The cached pointers are positional; drop them eagerly on any deletion.
   cache_valid_ = false;
+  InvalidatePlan();
 }
 
 }  // namespace cinder

@@ -6,6 +6,17 @@
 
 namespace cinder {
 
+// Scheduler run-plan invalidation contract: every syscall below that moves
+// energy does so through Reserve::Deposit/Withdraw/Consume/ConsumeUpTo,
+// each of which bumps Kernel::reserve_op_epoch_ via the attached-pointer
+// hook; object create/delete bump mutation_epoch, and the Self* calls that
+// change a thread's reserve bindings or run state bump sched_epoch_ through
+// Thread's hooks. A K-quanta plan built by EnergyAwareScheduler::BuildPlan
+// snapshots all three epochs, so any syscall that could change a future
+// pick invalidates the remainder of the plan without this file naming the
+// scheduler at all. Keep new syscalls on those primitives (never write a
+// reserve's level cell directly) and the contract holds by construction.
+
 namespace {
 // Reserve-operation telemetry: one record per explicit deposit/withdraw/
 // consume through the syscall layer, so offline readers can reconstruct a

@@ -582,6 +582,20 @@ void TapEngine::RunBatch(Duration dt) {
   if (!PlanIsCurrent()) {
     RebuildPlan();
   }
+  // The batch loops write reserve levels through the state-bank arrays, not
+  // through Reserve's named mutators, so the scheduler's run plan would not
+  // see the movement. Compare the flow totals on exit: a batch that moved
+  // tap or decay flow is an out-of-band level mutation and bumps the kernel
+  // reserve-op epoch; an all-idle batch leaves plans alive across the
+  // boundary. (Sink leak deposits go through Reserve::Deposit and bump on
+  // their own.)
+  const Quantity tap_flow_before = total_tap_flow_;
+  const Quantity decay_flow_before = total_decay_flow_;
+  const auto note_if_flow_moved = [&] {
+    if (total_tap_flow_ != tap_flow_before || total_decay_flow_ != decay_flow_before) {
+      kernel_->NoteReserveOp();
+    }
+  };
   // Publish the batch-wide constants, then run every shard — concurrently on
   // the executor when one is attached, serially in plan order otherwise.
   // Shards touch disjoint reserves/taps, so scheduling cannot change results.
@@ -655,6 +669,7 @@ void TapEngine::RunBatch(Duration dt) {
     if (telem_on_) {
       telem_->FlushFrame();
     }
+    note_if_flow_moved();
     return;
   }
   // Degenerate-dispatch fast path: waking the pool costs two notify/wait
@@ -754,6 +769,7 @@ void TapEngine::RunBatch(Duration dt) {
   if (telem_on_) {
     telem_->FlushFrame();
   }
+  note_if_flow_moved();
 }
 
 void TapEngine::RunShard(uint32_t shard) {

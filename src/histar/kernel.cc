@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/core/reserve.h"
 
 namespace cinder {
 
@@ -22,6 +23,13 @@ void Kernel::InsertObject(ObjectId id, std::unique_ptr<KernelObject> obj) {
   // immutable ids); thread/container churn must not invalidate partitions.
   if (obj->type() == ObjectType::kReserve || obj->type() == ObjectType::kTap) {
     ++topology_epoch_;
+  }
+  // Wire the scheduler-plan invalidation epochs: threads report run-state /
+  // reserve-attachment changes, reserves report out-of-band level mutations.
+  if (obj->type() == ObjectType::kThread) {
+    static_cast<Thread*>(obj.get())->AttachSchedEpoch(&sched_epoch_);
+  } else if (obj->type() == ObjectType::kReserve) {
+    static_cast<Reserve*>(obj.get())->AttachOpEpoch(&reserve_op_epoch_);
   }
   by_type_[static_cast<size_t>(obj->type())].push_back(id);
   uint32_t slot;

@@ -160,6 +160,21 @@ class Kernel {
   // survives them all.
   uint64_t topology_epoch() const { return topology_epoch_; }
 
+  // Bumped by every thread whose scheduler-relevant state changes: run-state
+  // transitions (sleep/block/wake/halt) and reserve attach/detach/active
+  // flips (threads are wired to this counter at insertion). The scheduler's
+  // K-quanta run plan records the expected value per entry — its own replayed
+  // wakes are pre-counted — so any other bump cuts the plan's remainder.
+  uint64_t sched_epoch() const { return sched_epoch_; }
+
+  // Bumped on every out-of-band reserve level mutation: the named Reserve
+  // paths (Deposit/Withdraw/Consume/ConsumeUpTo — reserves are wired at
+  // insertion) and tap batches that moved flow (TapEngine::RunBatch calls
+  // NoteReserveOp). The planned-billing path Reserve::ConsumeUpToAt is
+  // exempt: the run plan simulated those draws at build time.
+  uint64_t reserve_op_epoch() const { return reserve_op_epoch_; }
+  void NoteReserveOp() { ++reserve_op_epoch_; }
+
   // -- Telemetry ---------------------------------------------------------------
   // A trace domain the syscall layer emits reserve-operation records into
   // (see src/telemetry). Not owned; null (the default) disables emission.
@@ -266,6 +281,8 @@ class Kernel {
   std::array<std::vector<ObjectId>, kNumTypes> by_type_;
   uint64_t mutation_epoch_ = 0;
   uint64_t topology_epoch_ = 0;
+  uint64_t sched_epoch_ = 0;
+  uint64_t reserve_op_epoch_ = 0;
   TraceDomain* trace_domain_ = nullptr;
 
   ObjectId next_id_ = 1;

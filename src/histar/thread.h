@@ -30,20 +30,34 @@ class Thread final : public KernelObject {
       : KernelObject(id, ObjectType::kThread, std::move(label), std::move(name)) {}
 
   ThreadState state() const { return state_; }
-  void set_state(ThreadState s) { state_ = s; }
+  void set_state(ThreadState s) {
+    state_ = s;
+    BumpSchedEpoch();
+  }
 
   SimTime wake_time() const { return wake_time_; }
   void SleepUntil(SimTime t) {
     state_ = ThreadState::kSleeping;
     wake_time_ = t;
+    BumpSchedEpoch();
   }
-  void Block() { state_ = ThreadState::kBlocked; }
+  void Block() {
+    state_ = ThreadState::kBlocked;
+    BumpSchedEpoch();
+  }
+  // Bumps the sched epoch only on an actual transition: the scheduler's run
+  // plan pre-counts the Wake() calls its own replay issues (one per planned
+  // due sleeper), so a redundant Wake on a runnable thread must stay silent.
   void Wake() {
     if (state_ == ThreadState::kSleeping || state_ == ThreadState::kBlocked) {
       state_ = ThreadState::kRunnable;
+      BumpSchedEpoch();
     }
   }
-  void Halt() { state_ = ThreadState::kHalted; }
+  void Halt() {
+    state_ = ThreadState::kHalted;
+    BumpSchedEpoch();
+  }
 
   // -- Privileges ------------------------------------------------------------
   const CategorySet& privileges() const { return privileges_; }
@@ -58,6 +72,7 @@ class Thread final : public KernelObject {
     if (!IsAttached(r)) {
       attached_reserves_.push_back(r);
       ++reserve_epoch_;
+      BumpSchedEpoch();
     }
   }
   void DetachReserve(ObjectId r) {
@@ -65,12 +80,14 @@ class Thread final : public KernelObject {
       if (attached_reserves_[i] == r) {
         attached_reserves_.erase(attached_reserves_.begin() + static_cast<ptrdiff_t>(i));
         ++reserve_epoch_;
+        BumpSchedEpoch();
         break;
       }
     }
     if (active_reserve_ == r) {
       active_reserve_ = attached_reserves_.empty() ? kInvalidObjectId : attached_reserves_[0];
       ++reserve_epoch_;
+      BumpSchedEpoch();
     }
   }
   bool IsAttached(ObjectId r) const {
@@ -88,6 +105,7 @@ class Thread final : public KernelObject {
     if (active_reserve_ != r) {
       active_reserve_ = r;
       ++reserve_epoch_;
+      BumpSchedEpoch();
     }
   }
   // Bumped whenever the attach list or the active reserve changes. The
@@ -95,6 +113,13 @@ class Thread final : public KernelObject {
   // kernel mutation epoch): attach/detach are cold syscalls, so they pay a
   // counter bump here instead of a kernel-wide cache invalidation.
   uint64_t reserve_epoch() const { return reserve_epoch_; }
+
+  // The kernel wires every thread to its fleet-wide scheduler epoch at
+  // insertion (Kernel::sched_epoch): any run-state transition or reserve
+  // attach/active change bumps it, which is exactly the set of thread-side
+  // events that can change a future PickNext decision — the scheduler's
+  // K-quanta run plan checks it per replayed entry.
+  void AttachSchedEpoch(uint64_t* epoch) { sched_epoch_ = epoch; }
 
   // -- Domains ---------------------------------------------------------------
   // `home_address_space` is the thread's own process; `current_domain` is the
@@ -119,7 +144,14 @@ class Thread final : public KernelObject {
   void IncrementQuantaDenied() { ++quanta_denied_; }
 
  private:
+  void BumpSchedEpoch() {
+    if (sched_epoch_ != nullptr) {
+      ++*sched_epoch_;
+    }
+  }
+
   ThreadState state_ = ThreadState::kRunnable;
+  uint64_t* sched_epoch_ = nullptr;
   SimTime wake_time_;
   CategorySet privileges_;
   std::vector<ObjectId> attached_reserves_;

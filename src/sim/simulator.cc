@@ -140,6 +140,9 @@ ObjectId Simulator::CreateThreadIn(const Process& proc, const std::string& name,
 
 void Simulator::AttachBody(ObjectId thread, std::unique_ptr<ThreadBody> body) {
   bodies_[thread] = std::move(body);
+  // The bodies map is the scheduler's eligibility filter and no epoch covers
+  // it; a plan built before this attach would keep skipping the thread.
+  scheduler_->InvalidatePlan();
 }
 
 void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
@@ -159,21 +162,38 @@ void Simulator::RadioTransmit(int64_t bytes) {
 }
 
 void Simulator::Step() {
-  const Duration q = config_.quantum;
+  StepHead();
+  StepQuantum(nullptr);
+}
+
+void Simulator::StepHead() {
   telemetry_.set_time_us(now_.us());
 
   RunTimedCallbacks();
 
   // Tap flow batches (and the global decay) run on their own period.
   if (now_ >= next_tap_batch_) {
+    const Quantity flow_before = tap_engine_->total_tap_flow() + tap_engine_->total_decay_flow();
     tap_engine_->RunBatch(config_.tap_batch);
+    last_batch_moved_flow_ =
+        tap_engine_->total_tap_flow() + tap_engine_->total_decay_flow() != flow_before;
     next_tap_batch_ = now_ + config_.tap_batch;
   }
+}
 
-  // Energy-aware scheduling: one quantum for the chosen thread. Threads
-  // without an attached body are pure principals (service anchors, setup
-  // helpers); they never occupy CPU quanta.
-  ObjectId tid = scheduler_->PickNext(now_, has_body_fn_);
+void Simulator::StepQuantum(MeterBatch* mb) {
+  const Duration q = config_.quantum;
+  telemetry_.set_time_us(now_.us());
+
+  // Energy-aware scheduling: one quantum for the chosen thread. A live run
+  // plan replays the decision with no scan; otherwise (or once an epoch
+  // guard cuts the plan) the full PickNext path decides. Threads without an
+  // attached body are pure principals (service anchors, setup helpers);
+  // they never occupy CPU quanta.
+  ObjectId tid;
+  if (!scheduler_->TryPlannedPick(now_, &tid)) {
+    tid = scheduler_->PickNext(now_, has_body_fn_);
+  }
   Thread* t = tid != kInvalidObjectId ? kernel_.LookupTyped<Thread>(tid) : nullptr;
   auto body_it = bodies_.find(tid);
   // Keep a raw pointer, not the iterator: a body that attaches new bodies
@@ -209,20 +229,39 @@ void Simulator::Step() {
 
   // Kernel-side estimates for platform components (billed to the system; the
   // CPU estimate was billed per-thread in ChargeQuantum and netd bills radio
-  // usage to callers).
-  meter_.Record(Component::kBaseline, kSystemPrincipal, baseline_quantum_energy_);
-  if (backlight_on_) {
-    meter_.Record(Component::kBacklight, kSystemPrincipal, backlight_quantum_energy_);
+  // usage to callers). In a batched stretch the per-quantum records coalesce
+  // into counts and flush as one record per component at stretch end.
+  if (mb != nullptr) {
+    ++mb->baseline_quanta;
+    mb->backlight_quanta += backlight_on_ ? 1 : 0;
+  } else {
+    meter_.Record(Component::kBaseline, kSystemPrincipal, baseline_quantum_energy_);
+    if (backlight_on_) {
+      meter_.Record(Component::kBacklight, kSystemPrincipal, backlight_quantum_energy_);
+    }
   }
 
   // The battery reserve (rights graph root) tracks baseline drain so the
-  // spendable-rights view stays aligned with physical reality.
+  // spendable-rights view stays aligned with physical reality. Billed
+  // through the cached level cell: the run plan already simulated this
+  // drain, so it must not count as an out-of-band reserve op.
   if (Reserve* root = battery_reserve(); root != nullptr) {
-    root->ConsumeUpTo(baseline_quantum_quantity_);
+    root->ConsumeUpToAt(battery_cell_, baseline_quantum_quantity_);
   }
 
   probe_.OnTick(now_);
   now_ += q;
+}
+
+void Simulator::FlushMeterBatch(const MeterBatch& mb) {
+  if (mb.baseline_quanta > 0) {
+    meter_.Record(Component::kBaseline, kSystemPrincipal,
+                  baseline_quantum_energy_ * mb.baseline_quanta);
+  }
+  if (mb.backlight_quanta > 0) {
+    meter_.Record(Component::kBacklight, kSystemPrincipal,
+                  backlight_quantum_energy_ * mb.backlight_quanta);
+  }
 }
 
 void Simulator::ChargeQuantum(Thread& t, bool memory_heavy) {
@@ -252,8 +291,58 @@ Power Simulator::TrueInstantaneousPower() const {
 void Simulator::Run(Duration d) { RunUntil(now_ + d); }
 
 void Simulator::RunUntil(SimTime t) {
+  const uint32_t plan_quanta = config_.exec.sched_plan_quanta;
+  const int64_t q_us = config_.quantum.us();
+  if (plan_quanta == 0 || q_us <= 0) {
+    while (now_ < t) {
+      Step();
+    }
+    return;
+  }
+  // Batched stepping: one head (timed callbacks + tap batch) per stretch,
+  // then quanta in a tight loop. A stretch ends at the run horizon, the next
+  // tap batch, or as soon as a timed callback becomes due — so heads run at
+  // exactly the times the plain Step loop would have run them, and results
+  // are bit-identical (golden-pinned) at any K.
+  SchedPlanParams params;
+  params.quantum = config_.quantum;
+  const Quantity c_plain = ToQuantity(cpu_quantum_estimate_);
+  const Quantity c_memory = ToQuantity(cpu_quantum_estimate_memory_);
+  params.cost_lo = c_plain < c_memory ? c_plain : c_memory;
+  params.cost_hi = c_plain < c_memory ? c_memory : c_plain;
+  params.baseline_drain = baseline_quantum_quantity_;
+  params.eligible = &has_body_fn_;
   while (now_ < t) {
-    Step();
+    StepHead();
+    MeterBatch mb;
+    bool stretch_done = false;
+    bool built = false;
+    do {
+      // (Re)build at most one plan per stretch, the first time no valid
+      // plan remains; if a guard cuts it mid-stretch, the remaining quanta
+      // fall back to PickNext and the next stretch rebuilds.
+      if (!built && !scheduler_->PlanCurrent()) {
+        built = true;
+        // Horizon: never past the run end, and when the last tap batch
+        // moved flow (so the next one will cut the plan anyway), not past
+        // the next batch boundary either. Sleeper deadlines cap it further
+        // inside BuildPlan.
+        uint64_t horizon = static_cast<uint64_t>((t.us() - now_.us() + q_us - 1) / q_us);
+        if (last_batch_moved_flow_ && next_tap_batch_ > now_) {
+          const uint64_t to_batch =
+              static_cast<uint64_t>((next_tap_batch_.us() - now_.us() + q_us - 1) / q_us);
+          horizon = to_batch < horizon ? to_batch : horizon;
+        }
+        params.max_quanta =
+            static_cast<uint32_t>(horizon < plan_quanta ? horizon : plan_quanta);
+        params.baseline_reserve = battery_reserve();
+        scheduler_->BuildPlan(now_, params);
+      }
+      StepQuantum(&mb);
+      stretch_done = now_ >= t || now_ >= next_tap_batch_ ||
+                     (!callbacks_.empty() && callbacks_.top().when <= now_);
+    } while (!stretch_done);
+    FlushMeterBatch(mb);
   }
 }
 

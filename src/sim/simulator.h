@@ -57,6 +57,14 @@ struct ExecConfig {
   // tap_workers >= 1.
   uint32_t tap_split_threshold = 4096;
   uint32_t tap_split_ranges = 8;
+  // K-quanta scheduler run plans (PR 9): Run/RunUntil precompute the pick
+  // sequence for up to this many quanta at a time and replay it without
+  // per-quantum PickNext scans, falling back to the single-quantum path the
+  // moment an epoch guard cuts the plan (docs/PERFORMANCE.md "PR 9" has the
+  // invalidation contract). Results are bit-identical for any value — golden
+  // tests pin K in {1,4,16,64} against 0. 0 disables planning entirely
+  // (every quantum is a full Step). Step() itself never plans.
+  uint32_t sched_plan_quanta = 64;
 };
 
 struct SimConfig {
@@ -120,11 +128,13 @@ class Simulator final : public PowerSource {
   SimTime now() const { return now_; }
   ObjectId battery_reserve_id() const { return battery_reserve_; }
   // Cached against the kernel mutation epoch: steady-state quanta pay no
-  // lookup at all, while any create/delete re-resolves the pointer.
+  // lookup at all, while any create/delete re-resolves the pointer (and the
+  // level cell the per-quantum baseline drain bills through).
   Reserve* battery_reserve() {
     const uint64_t epoch = kernel_.mutation_epoch();
     if (battery_cache_epoch_ != epoch) {
       battery_cache_ = kernel_.LookupTyped<Reserve>(battery_reserve_);
+      battery_cell_ = battery_cache_ != nullptr ? battery_cache_->level_cell() : nullptr;
       battery_cache_epoch_ = epoch;
     }
     return battery_cache_;
@@ -184,8 +194,23 @@ class Simulator final : public PowerSource {
   Energy total_true_energy() const { return battery_.drained(); }
 
  private:
+  // Per-batch coalesced meter records: the baseline/backlight estimates are
+  // the same Energy every quantum, so N quanta fold into one Record(e * N) —
+  // bit-identical totals (exact int64 multiply, and EnergyMeter::Record is
+  // pure accumulation), one map walk instead of N.
+  struct MeterBatch {
+    int64_t baseline_quanta = 0;
+    int64_t backlight_quanta = 0;
+  };
+
   void RunTimedCallbacks();
   void ChargeQuantum(Thread& t, bool memory_heavy);
+  // Step() == StepHead() + StepQuantum(nullptr). The batched RunUntil runs
+  // one head per stretch (timed callbacks + tap batch), then quanta in a
+  // tight loop with the meter records coalesced into `mb`.
+  void StepHead();
+  void StepQuantum(MeterBatch* mb);
+  void FlushMeterBatch(const MeterBatch& mb);
 
   SimConfig config_;
   Kernel kernel_;
@@ -236,7 +261,13 @@ class Simulator final : public PowerSource {
   // quantum are fixed after construction).
   std::function<bool(ObjectId)> has_body_fn_;
   Reserve* battery_cache_ = nullptr;
+  Quantity* battery_cell_ = nullptr;
   uint64_t battery_cache_epoch_ = UINT64_MAX;
+  // True when the last tap batch moved tap or decay flow — flow-moving
+  // batches bump the reserve-op epoch and cut any plan, so the next plan's
+  // horizon is capped at the next batch boundary instead of wasting build
+  // work past it. Idle batches leave plans (and this flag) alone.
+  bool last_batch_moved_flow_ = false;
   Power cpu_memory_power_;          // cpu_active * (1 + memory premium).
   Energy baseline_quantum_energy_;  // idle_baseline * quantum.
   Energy backlight_quantum_energy_;

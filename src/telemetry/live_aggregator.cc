@@ -28,6 +28,8 @@ void LiveAggregator::Reset() {
   total_decay_flow_ = 0;
   sched_picks_ = 0;
   sched_idle_picks_ = 0;
+  sched_planned_picks_ = 0;
+  sched_plan_builds_ = 0;
   frames_ = 0;
   records_seen_ = 0;
   ring_dropped_ = 0;
@@ -43,6 +45,8 @@ void LiveAggregator::Reset() {
   window_leak_deposits_ = 0;
   window_sched_picks_ = 0;
   window_sched_idle_ = 0;
+  window_sched_planned_ = 0;
+  window_plan_builds_ = 0;
   window_reserve_ops_ = 0;
   window_dispatches_ = 0;
   window_records_ = 0;
@@ -135,6 +139,15 @@ void LiveAggregator::OnRecord(const TraceRecord& r) {
         ++sched_idle_picks_;
         ++window_sched_idle_;
       }
+      if ((r.flags & kSchedPickPlanned) != 0) {
+        ++sched_planned_picks_;
+        ++window_sched_planned_;
+      }
+      break;
+    }
+    case RecordKind::kSchedPlanBuild: {
+      ++sched_plan_builds_;
+      ++window_plan_builds_;
       break;
     }
     case RecordKind::kCpuCharge: {
@@ -188,6 +201,8 @@ void LiveAggregator::CloseWindow(uint64_t closing_frame_seq, int64_t mark_time_u
   w.decay_leak_deposits = window_leak_deposits_;
   w.sched_picks = window_sched_picks_;
   w.sched_idle_picks = window_sched_idle_;
+  w.sched_planned_picks = window_sched_planned_;
+  w.sched_plan_builds = window_plan_builds_;
   w.reserve_ops = window_reserve_ops_;
   w.dispatches = window_dispatches_;
   w.records = window_records_;
@@ -262,6 +277,8 @@ void LiveAggregator::CloseWindow(uint64_t closing_frame_seq, int64_t mark_time_u
   window_leak_deposits_ = 0;
   window_sched_picks_ = 0;
   window_sched_idle_ = 0;
+  window_sched_planned_ = 0;
+  window_plan_builds_ = 0;
   window_reserve_ops_ = 0;
   window_dispatches_ = 0;
   window_records_ = 0;

@@ -57,6 +57,10 @@ struct WindowStats {
   int64_t decay_leak_deposits = 0;
   uint64_t sched_picks = 0;
   uint64_t sched_idle_picks = 0;
+  // Picks replayed from a scheduler run plan (kSchedPickPlanned flag) and
+  // plan builds in the window; planned/picks is the live plan-hit ratio.
+  uint64_t sched_planned_picks = 0;
+  uint64_t sched_plan_builds = 0;
   uint64_t reserve_ops = 0;  // Deposit + withdraw records (syscall rate).
   uint64_t dispatches = 0;
   uint64_t records = 0;  // All records in the window, marks included.
@@ -102,6 +106,8 @@ class LiveAggregator : public TraceSink {
   std::vector<TraceReader::ThreadCharge> CpuChargeByThread() const;
   uint64_t SchedPicks() const { return sched_picks_; }
   uint64_t SchedIdlePicks() const { return sched_idle_picks_; }
+  uint64_t SchedPlannedPicks() const { return sched_planned_picks_; }
+  uint64_t SchedPlanBuilds() const { return sched_plan_builds_; }
   uint64_t frames() const { return frames_; }
   uint64_t records_seen() const { return records_seen_; }
   // Cumulative ring-overwrite drops as stamped into the latest frame mark.
@@ -177,6 +183,8 @@ class LiveAggregator : public TraceSink {
   int64_t total_decay_flow_ = 0;
   uint64_t sched_picks_ = 0;
   uint64_t sched_idle_picks_ = 0;
+  uint64_t sched_planned_picks_ = 0;
+  uint64_t sched_plan_builds_ = 0;
   uint64_t frames_ = 0;
   uint64_t records_seen_ = 0;
   uint64_t ring_dropped_ = 0;
@@ -196,6 +204,8 @@ class LiveAggregator : public TraceSink {
   int64_t window_leak_deposits_ = 0;
   uint64_t window_sched_picks_ = 0;
   uint64_t window_sched_idle_ = 0;
+  uint64_t window_sched_planned_ = 0;
+  uint64_t window_plan_builds_ = 0;
   uint64_t window_reserve_ops_ = 0;
   uint64_t window_dispatches_ = 0;
   uint64_t window_records_ = 0;

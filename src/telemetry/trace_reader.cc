@@ -252,6 +252,31 @@ uint64_t TraceReader::SchedIdlePicks() const {
   return idle;
 }
 
+uint64_t TraceReader::SchedPlannedPicks() const {
+  uint64_t planned = 0;
+  for (const TraceRecord& r : records_) {
+    if (IsKind(r, RecordKind::kSchedPick) && (r.flags & kSchedPickPlanned) != 0) {
+      ++planned;
+    }
+  }
+  return planned;
+}
+
+uint64_t TraceReader::SchedPlanBuilds() const {
+  return kind_counts_.empty() ? 0
+                              : kind_counts_[static_cast<size_t>(RecordKind::kSchedPlanBuild)];
+}
+
+uint64_t TraceReader::SchedPlannedQuanta() const {
+  uint64_t quanta = 0;
+  for (const TraceRecord& r : records_) {
+    if (IsKind(r, RecordKind::kSchedPlanBuild)) {
+      quanta += static_cast<uint64_t>(r.v0);
+    }
+  }
+  return quanta;
+}
+
 std::vector<TraceReader::TapFlow> TraceReader::TapFlows() const {
   // Plan tables appear in the stream before the batches that use them
   // (rebuild-time spill records), so a single forward walk keeps the

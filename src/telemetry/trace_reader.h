@@ -110,6 +110,13 @@ class TraceReader {
   // kSchedPick records where nothing was runnable (actor == 0).
   uint64_t SchedIdlePicks() const;
   uint64_t SchedPicks() const;
+  // kSchedPick records replayed from a K-quanta run plan (kSchedPickPlanned
+  // flag); the remainder were full single-quantum scans. The plan-hit ratio
+  // is SchedPlannedPicks() / SchedPicks().
+  uint64_t SchedPlannedPicks() const;
+  // kSchedPlanBuild records, and the total quanta those builds planned (v0).
+  uint64_t SchedPlanBuilds() const;
+  uint64_t SchedPlannedQuanta() const;
 
   // -- Fine-grained tap attribution (kTapTransfer + kPlanTap opt-in) ---------------
   struct TapFlow {

@@ -55,6 +55,9 @@ enum class RecordKind : uint8_t {
   kReserveDecay = 7,
   // Scheduler pick: actor = low 32 bits of the chosen thread id (0 when
   // nothing could run), time_us = the sim time passed to PickNext.
+  // flags = kSchedPickPlanned when the quantum was replayed from a K-quanta
+  // run plan instead of a full PickNext scan (same decision either way —
+  // the flag only attributes the quantum for the plan-hit ratio).
   kSchedPick = 8,
   // CPU billing: actor = low 32 bits of the thread id, v0 = billed (nJ).
   kCpuCharge = 9,
@@ -72,13 +75,28 @@ enum class RecordKind : uint8_t {
   // Fine-grained, off by default. Reserve table at each rebuild:
   // actor = reserve bank slot, v0 = reserve id, aux = shard (low 16 bits).
   kPlanReserve = 13,
-  kKindCount = 14,
+  // One per scheduler run-plan build: v0 = quanta planned, v1 = quanta
+  // requested (the horizon cap the simulator asked for), flags = the
+  // SchedPlanEnd reason the plan stopped early (or ran the full horizon).
+  // Volume is O(builds), so it stays in the default mask.
+  kSchedPlanBuild = 14,
+  kKindCount = 15,
 };
 
 // flags values for kReserveDeposit / kReserveWithdraw.
 inline constexpr uint8_t kReserveOpTransfer = 0;
 inline constexpr uint8_t kReserveOpConsume = 1;
 inline constexpr uint8_t kReserveOpDecayLeak = 2;
+
+// flags value for kSchedPick: the quantum was replayed from a run plan.
+inline constexpr uint8_t kSchedPickPlanned = 1;
+
+// flags values for kSchedPlanBuild: why the plan ended where it did.
+inline constexpr uint8_t kSchedPlanEndHorizon = 0;   // Ran the requested K.
+inline constexpr uint8_t kSchedPlanEndSleeper = 1;   // A sleeper deadline.
+inline constexpr uint8_t kSchedPlanEndUncertain = 2; // A reserve could cross
+                                                     // empty within the
+                                                     // billing margin.
 
 constexpr uint32_t RecordBit(RecordKind k) { return uint32_t{1} << static_cast<uint8_t>(k); }
 

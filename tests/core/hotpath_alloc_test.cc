@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/core/scheduler.h"
 #include "src/core/tap_engine.h"
 #include "src/exec/shard_executor.h"
 #include "src/telemetry/trace_domain.h"
@@ -304,6 +305,104 @@ TEST(HotPathAllocTest, TelemetrySingleShardFastPathIsAllocationFree) {
   EXPECT_EQ(g_allocations.load(), before);
   EXPECT_EQ(domain.frames_flushed(), 1001u);
   EXPECT_GT(engine.total_tap_flow(), 0);
+}
+
+TEST(HotPathAllocTest, SchedulerRefreshOnSteadyChurnIsAllocationFree) {
+  // Reserve traffic between quanta (deposits, withdrawals, active-reserve
+  // flips between already-attached reserves) bumps thread reserve epochs, so
+  // every pick re-runs RefreshThreadEnergy — which must reuse its per-thread
+  // vectors' capacity, never allocate. RefreshCache likewise after the first
+  // fill.
+  Kernel k;
+  std::vector<Thread*> threads;
+  std::vector<Reserve*> primary;
+  std::vector<Reserve*> backup;
+  EnergyAwareScheduler sched(&k);
+  for (int i = 0; i < 16; ++i) {
+    Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+    Reserve* a = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "a");
+    Reserve* b = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "b");
+    a->Deposit(1000000000);
+    b->Deposit(1000000000);
+    t->set_active_reserve(a->id());
+    t->AttachReserve(b->id());  // Both attached up front: flips never grow the set.
+    sched.AddThread(t->id());
+    threads.push_back(t);
+    primary.push_back(a);
+    backup.push_back(b);
+  }
+  // Warm up: fill the caches (and PickNext's static eligible-all functor).
+  for (int i = 0; i < 32; ++i) {
+    (void)sched.PickNext(SimTime::FromMicros(i));
+  }
+  const unsigned long long before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    Reserve* r = primary[i % primary.size()];
+    r->Deposit(1000);
+    (void)r->Withdraw(500);
+    threads[i % threads.size()]->set_active_reserve(
+        (i % 2 == 0 ? backup : primary)[i % threads.size()]->id());
+    ObjectId picked = sched.PickNext(SimTime::FromMicros(100 + i));
+    ASSERT_NE(picked, kInvalidObjectId);
+    (void)sched.ChargeCpu(*k.LookupTyped<Thread>(picked), Energy::Microjoules(137));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST(HotPathAllocTest, SchedulerPlanBuildAndReplayAreAllocationFree) {
+  // The K-quanta plan machinery sizes its entry/denied/wake/bound scratch on
+  // the first build; steady rebuild + replay cycles — including plans cut
+  // mid-replay by out-of-band deposits — must then be pure array work.
+  Kernel k;
+  EnergyAwareScheduler sched(&k);
+  std::vector<Reserve*> reserves;
+  for (int i = 0; i < 12; ++i) {
+    Thread* t = k.Create<Thread>(k.root_container_id(), Label(Level::k1), "t");
+    Reserve* r = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "r");
+    if (i % 3 != 0) {
+      r->Deposit(INT64_MAX / 32);  // Every third thread stays energyless.
+    }
+    t->set_active_reserve(r->id());
+    sched.AddThread(t->id());
+    reserves.push_back(r);
+  }
+  Reserve* battery = k.Create<Reserve>(k.root_container_id(), Label(Level::k1), "battery");
+  battery->Deposit(INT64_MAX / 4);
+  SchedPlanParams params;
+  params.max_quanta = 64;
+  params.quantum = Duration::Millis(1);
+  params.cost_lo = ToQuantity(Energy::Microjoules(137));
+  params.cost_hi = ToQuantity(Energy::Microjoules(155));
+  params.baseline_reserve = battery;
+  params.baseline_drain = ToQuantity(Energy::Microjoules(699));
+  // Warm up: one full build + replay sizes every scratch vector.
+  ASSERT_GT(sched.BuildPlan(SimTime::Zero(), params), 0u);
+  ObjectId picked = kInvalidObjectId;
+  while (sched.TryPlannedPick(SimTime::Zero(), &picked)) {
+  }
+  const unsigned long long before = g_allocations.load();
+  SimTime now = SimTime::Zero();
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_GT(sched.BuildPlan(now, params), 0u);
+    int replayed = 0;
+    while (sched.TryPlannedPick(now, &picked)) {
+      now = now + params.quantum;
+      ++replayed;
+      if (picked != kInvalidObjectId) {
+        (void)sched.ChargeCpu(*k.LookupTyped<Thread>(picked), Energy::Microjoules(140));
+      }
+      (void)battery->ConsumeUpToAt(battery->level_cell(), params.baseline_drain);
+      if (round % 3 == 1 && replayed == 7) {
+        // Out-of-band deposit: bumps the reserve-op epoch, cutting the plan
+        // on the next TryPlannedPick — the cut path must not allocate either.
+        reserves[round % reserves.size()]->Deposit(1000);
+      }
+    }
+    EXPECT_GT(replayed, 0) << "round=" << round;
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_GT(sched.plan_stats().plans_cut, 0u);
+  EXPECT_GT(sched.plan_stats().quanta_replayed, 0u);
 }
 
 TEST(HotPathAllocTest, KernelLookupAndObjectsOfTypeAreAllocationFree) {

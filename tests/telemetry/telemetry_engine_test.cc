@@ -310,6 +310,54 @@ TEST(TelemetrySimulatorTest, SyscallReserveOpsAreRecordedWithLevels) {
   EXPECT_EQ(ops[4].level_after, 250);
 }
 
+TEST(TelemetrySimulatorTest, EmptyRunQueueStillEmitsIdlePickRecords) {
+  // No process ever registers with the scheduler, so PickNext takes its
+  // empty-queue early return — which must still emit the actor-0 idle record
+  // per EmitPick's contract (one kSchedPick per scheduling decision, pinned
+  // here so the record stream never has silent gaps on an idle kernel).
+  // Disable planning so every quantum exercises the PickNext path itself.
+  SimConfig cfg;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.spill_grow = true;
+  cfg.exec.sched_plan_quanta = 0;
+  Simulator sim(cfg);
+  sim.Run(Duration::Millis(100));
+  sim.telemetry().FlushFrame();
+  TraceReader reader = TraceReader::FromDomain(sim.telemetry());
+  EXPECT_EQ(reader.SchedPicks(), 100u);
+  EXPECT_EQ(reader.SchedIdlePicks(), 100u);
+  EXPECT_EQ(reader.SchedPlannedPicks(), 0u);
+}
+
+TEST(TelemetrySimulatorTest, PlannedPicksCarryTheFlagAndBuildRecords) {
+  // Under the default batched stepper, replayed quanta keep emitting one
+  // kSchedPick each — distinguished only by the planned flag — and each
+  // BuildPlan emits one kSchedPlanBuild whose v0 sums to the planned total.
+  SimConfig cfg;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.spill_grow = true;
+  cfg.decay_enabled = false;
+  Simulator sim(cfg);
+  Kernel& k = sim.kernel();
+  auto proc = sim.CreateProcess("spin");
+  ObjectId r =
+      ReserveCreate(k, *sim.boot_thread(), proc.container, Label(Level::k1), "r").value();
+  ASSERT_EQ(ReserveTransfer(k, *sim.boot_thread(), sim.battery_reserve_id(), r,
+                            ToQuantity(Energy::Joules(10.0))),
+            Status::kOk);
+  k.LookupTyped<Thread>(proc.thread)->set_active_reserve(r);
+  sim.AttachBody(proc.thread, std::make_unique<SpinBody>());
+  sim.Run(Duration::Seconds(2));
+  sim.telemetry().FlushFrame();
+  TraceReader reader = TraceReader::FromDomain(sim.telemetry());
+  EXPECT_EQ(reader.SchedPicks(), 2000u);  // One record per quantum, planned or not.
+  const SchedPlanStats& stats = sim.scheduler().plan_stats();
+  EXPECT_GT(stats.plans_built, 0u);
+  EXPECT_EQ(reader.SchedPlannedPicks(), stats.quanta_replayed);
+  EXPECT_EQ(reader.SchedPlanBuilds(), stats.plans_built);
+  EXPECT_GE(reader.SchedPlannedQuanta(), reader.SchedPlannedPicks());
+}
+
 TEST(TelemetryConfigTest, DisabledByDefaultAndInert) {
   Simulator sim;
   EXPECT_FALSE(sim.telemetry().enabled());

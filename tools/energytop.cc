@@ -70,10 +70,16 @@ int main(int argc, char** argv) {
   });
   agg.set_monitor(&monitor);
   agg.set_window_callback([](const cinder::WindowStats& w) {
+    // Plan-hit ratio: share of the window's picks replayed from a K-quanta
+    // run plan (the rest were full single-quantum scans).
+    const double plan_pct =
+        w.sched_picks > 0
+            ? 100.0 * static_cast<double>(w.sched_planned_picks) / static_cast<double>(w.sched_picks)
+            : 0.0;
     std::printf("window %-5" PRIu64 " t=%8.1fms  tap %9.3f mJ  decay %8.3f mJ  picks %5" PRIu64
-                " (%3" PRIu64 " idle)  rsv-ops %5" PRIu64 "  drops %" PRIu64 "\n",
+                " (%3" PRIu64 " idle, %5.1f%% plan)  rsv-ops %5" PRIu64 "  drops %" PRIu64 "\n",
                 w.index, static_cast<double>(w.end_time_us) / 1e3, Mj(w.tap_flow),
-                Mj(w.decay_flow), w.sched_picks, w.sched_idle_picks, w.reserve_ops,
+                Mj(w.decay_flow), w.sched_picks, w.sched_idle_picks, plan_pct, w.reserve_ops,
                 w.ring_drop_delta);
   });
 
@@ -97,9 +103,10 @@ int main(int argc, char** argv) {
               " windows closed, ring drops %" PRIu64 "\n",
               path.c_str(), agg.records_seen(), agg.frames(), agg.windows_closed(),
               agg.ring_dropped());
-  std::printf("totals: tap %.3f mJ, decay %.3f mJ, %" PRIu64 " picks (%" PRIu64 " idle)\n",
+  std::printf("totals: tap %.3f mJ, decay %.3f mJ, %" PRIu64 " picks (%" PRIu64 " idle, %" PRIu64
+              " planned, %" PRIu64 " plan builds)\n",
               Mj(agg.TotalTapFlow()), Mj(agg.TotalDecayFlow()), agg.SchedPicks(),
-              agg.SchedIdlePicks());
+              agg.SchedIdlePicks(), agg.SchedPlannedPicks(), agg.SchedPlanBuilds());
 
   const auto shards = agg.shard_live();
   size_t active = 0;
