@@ -99,6 +99,21 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   SplitConfig& split() { return split_; }
   const SplitConfig& split() const { return split_; }
 
+  // Articulation-tap component cutting: components with more tap edges than
+  // this are cut into bounded sub-shards at bridge taps (the partitioner's
+  // lowest-flow-first cut selection); severed taps drain into per-cut lanes
+  // during the parallel passes and a serial fixed-cut-order settlement
+  // applies the transfers at the batch boundary. 0 (default) disables. Only
+  // meaningful in sharded mode; results stay bit-identical to the uncut
+  // engine at any worker count. Takes effect on the next plan rebuild.
+  void set_cut_threshold(uint32_t threshold) {
+    if (cut_threshold_ != threshold) {
+      cut_threshold_ = threshold;
+      plan_valid_ = false;
+    }
+  }
+  uint32_t cut_threshold() const { return cut_threshold_; }
+
   // Registers a tap for batch processing. Returns false if the tap does not
   // exist or its endpoints are invalid / of mismatched resource kinds.
   bool Register(ObjectId tap_id);
@@ -135,6 +150,23 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   // tap count, largest first, so a giant component starts immediately instead
   // of serializing the tail of the batch. Results never depend on it.
   const std::vector<uint32_t>& shard_run_order() const { return shard_order_; }
+
+  // The partitioner (sharded mode only; null otherwise) — exposes
+  // PartitionStats and the cut layout for tools and tests.
+  const ShardPartitioner* partitioner() const { return partitioner_.get(); }
+  // Live boundary cuts / cut parent components in the current plan (0 when
+  // cutting is disabled or no component crossed the threshold).
+  uint32_t boundary_cut_count() const { return static_cast<uint32_t>(cuts_.size()); }
+  uint32_t cut_parent_count() const { return static_cast<uint32_t>(cut_parents_.size()); }
+  // True if any cut parent ran the fused serial fallback on the last batch
+  // (a cut destination's demand group was constrained, so deferring its
+  // deposit was not provably invisible).
+  bool AnyCutParentFused() const {
+    for (uint8_t f : parent_fused_) {
+      if (f != 0) return true;
+    }
+    return false;
+  }
 
   // -- Telemetry ----------------------------------------------------------------
   // Attaches a trace domain: batches emit per-shard flow/timing records into
@@ -198,6 +230,9 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   // snapped) range bounds, per-range distinct-group lane maps, the
   // shared/exclusive destination classification, and the two ticket tables.
   void BuildSplitPlan();
+  // The phase ticket tables (pass 1 / pass 2), covering split ranges, cut
+  // members, and whole shards in largest-first order.
+  void BuildTicketTables();
   // The split execution pipeline (see RunBatch): pass-1 ranges accumulate
   // demand into private lanes; a serial range-order reduction folds lanes
   // into the canonical per-group totals and classifies each group as
@@ -210,6 +245,25 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   void ReduceSplitDemand(uint32_t split);
   void RunPass2Range(uint32_t split, uint32_t range);
   void FinalizeSplitShard(uint32_t split);
+  // Articulation-cut plan: detects boundary entries (src and dst sub-shards
+  // differ), builds the per-cut lane layout, the parent member / fused-order
+  // tables, and unifies each cut parent's decay sink. Runs after the shard
+  // tables exist and before BuildSplitPlan (cut members never range-split).
+  void BuildCutPlan();
+  // The cut execution pipeline (see RunBatch): phase A runs each cut
+  // member's demand pass; the serial classification between the phases
+  // checks every cut destination's demand group against its opening level
+  // (same formula as the range split's group_fast_) and arms the fused
+  // fallback per parent if any deferral is not provably invisible; phase B
+  // runs the transfer passes with boundary entries draining into lanes; the
+  // serial settlement applies lanes in fixed cut order (or runs the fused
+  // parents' pass 2 whole, serially, in tap-id order) and then the members'
+  // decay slices — decay after settlement, exactly like the uncut order.
+  void RunCutPass1(uint32_t shard);
+  void RunCutPass2(uint32_t shard);
+  void ClassifyCutParents();
+  void SettleCutParents();
+  void RunFusedParent(uint32_t parent, Quantity* settled, uint32_t* applied);
   // Copies bank state back into every surviving attached object and detaches
   // it (dead objects miss via their generation-tagged handles). Called before
   // every re-snapshot and from the destructor.
@@ -337,6 +391,44 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   std::vector<uint32_t> split_dst_first_;
   std::vector<uint8_t> split_dst_shared_;
 
+  // -- Articulation cuts (bounded shard sizes, epoch-batched boundaries) --------
+  // Built with the plan when the partitioner severed bridge taps. A "cut
+  // parent" densely numbers the pre-cut components that have at least one
+  // live boundary entry; its member sub-shards run kCutPass1/kCutPass2
+  // tickets and settle serially at the batch boundary. cuts_ is ordered by
+  // (parent, tap id) — the settlement order — with parent_cut_begin_ the CSR
+  // over it. Each cut owns one BoundaryBank lane (entry_cut_lane_ maps plan
+  // entries; kNoCut for non-boundary entries), lanes grouped by source
+  // sub-shard with the groups cache-line padded (shard_lane_begin_), so a
+  // pass-2 ticket is the sole writer of its slice. The fused tables hold
+  // every entry of each cut parent in ascending tap-id order with src/dst
+  // sub-shard per entry — the serial fallback replays the uncut pass 2
+  // exactly when a cut destination's group is constrained.
+  static constexpr uint32_t kNoCut = UINT32_MAX;
+  struct BoundaryCut {
+    uint32_t entry = 0;      // Dense plan-entry index of the severed tap.
+    uint32_t lane = 0;       // BoundaryBank slot (single writer: its entry).
+    uint32_t dst_slot = 0;   // Destination reserve bank slot.
+    uint32_t dst_shard = 0;  // Destination sub-shard (for decay re-adds).
+    uint32_t dst_group = 0;  // Demand group sourced at the destination, or
+                             // kNoCut (then deferral is always invisible).
+  };
+  uint32_t cut_threshold_ = 0;
+  std::vector<BoundaryCut> cuts_;
+  std::vector<uint32_t> cut_parents_;         // Dense -> partitioner parent id.
+  std::vector<uint32_t> parent_cut_begin_;    // CSR over cuts_.
+  std::vector<uint32_t> parent_shards_;       // Member sub-shards, ascending.
+  std::vector<uint32_t> parent_shard_begin_;  // CSR over parent_shards_.
+  std::vector<uint32_t> shard_cut_parent_;    // shard -> dense parent or kNoCut.
+  std::vector<uint32_t> entry_cut_lane_;
+  std::vector<uint32_t> shard_lane_begin_;
+  BoundaryBank boundary_;
+  std::vector<uint32_t> fused_entries_;
+  std::vector<uint32_t> fused_src_shard_;
+  std::vector<uint32_t> fused_dst_shard_;
+  std::vector<uint32_t> parent_fused_begin_;  // CSR over fused_entries_.
+  std::vector<uint8_t> parent_fused_;         // Per batch: 1 = fused fallback.
+
   std::vector<ShardScratch> scratch_;
   std::vector<ShardStats> stats_;
   Reserve* battery_cache_ = nullptr;
@@ -355,6 +447,7 @@ class TapEngine : public KernelObserver, public ShardTask, public ReserveDecayLi
   bool telem_taps_ = false;
   bool telem_decay_records_ = false;
   bool telem_reserve_ops_ = false;
+  bool telem_boundary_ = false;
 
   bool sharding_ = false;
   ShardExecutor* executor_ = nullptr;

@@ -17,6 +17,11 @@ enum class ShardTicketKind : uint8_t {
   kWholeShard = 0,
   kPass1Range = 1,  // Demand pass over [range) into a private lane slice.
   kPass2Range = 2,  // Transfer pass over the range's unconstrained entries.
+  // Sub-shards of a cut component (see ShardPartitioner cut selection) run
+  // their two tap passes as separate phases so the serial settlement between
+  // phase B and the merge can apply boundary-tap transfers in cut order:
+  kCutPass1 = 3,  // Demand pass of one whole sub-shard.
+  kCutPass2 = 4,  // Transfer pass; boundary deposits drain into lanes.
 };
 
 // One claimable unit of batch work. For kWholeShard only `shard` is

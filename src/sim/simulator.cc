@@ -52,6 +52,7 @@ Simulator::Simulator(SimConfig config)
   tap_engine_->decay().to_shard_root = config_.exec.decay_to_shard_root;
   tap_engine_->split().min_entries = config_.exec.tap_split_threshold;
   tap_engine_->split().ranges = config_.exec.tap_split_ranges;
+  tap_engine_->set_cut_threshold(config_.exec.shard_cut_threshold);
   if (config_.exec.tap_workers >= 1) {
     shard_executor_ = std::make_unique<ShardExecutor>(config_.exec.tap_workers);
     tap_engine_->EnableSharding(shard_executor_.get());

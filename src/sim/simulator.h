@@ -57,6 +57,17 @@ struct ExecConfig {
   // tap_workers >= 1.
   uint32_t tap_split_threshold = 4096;
   uint32_t tap_split_ranges = 8;
+  // Articulation-tap component cutting (PR 10): a connected component with
+  // more tap edges than this is cut at its lowest-flow bridge taps into
+  // sub-shards of bounded size; the severed taps settle through per-cut
+  // lanes in a serial fixed-order phase at each batch boundary, so results
+  // stay bit-identical to the uncut engine at any worker count
+  // (docs/PERFORMANCE.md "PR 10"). 0 (the default) disables cutting.
+  // Complements tap_split_threshold: the range split parallelizes wide
+  // components (fan-outs), cutting parallelizes deep ones (chains) the
+  // ranges cannot help because their demand groups straddle everything.
+  // Only meaningful with sharding (tap_workers >= 1 or decay_to_shard_root).
+  uint32_t shard_cut_threshold = 0;
   // K-quanta scheduler run plans (PR 9): Run/RunUntil precompute the pick
   // sequence for up to this many quanta at a time and replay it without
   // per-quantum PickNext scans, falling back to the single-quantum path the

@@ -80,7 +80,15 @@ enum class RecordKind : uint8_t {
   // SchedPlanEnd reason the plan stopped early (or ran the full horizon).
   // Volume is O(builds), so it stays in the default mask.
   kSchedPlanBuild = 14,
-  kKindCount = 15,
+  // One per cut parent component per batch (sharded mode with articulation
+  // cuts): actor = parent component index, v0 = boundary nJ settled at the
+  // batch boundary, v1 = boundary taps settled (lanes applied),
+  // aux = member sub-shards, flags = kBoundarySettleFused when the parent
+  // fell back to the fused serial pass-2 (a cut destination's demand group
+  // was constrained, so deferral was not provably invisible). Volume is
+  // O(cut parents) per batch, so it stays in the default mask.
+  kBoundarySettle = 15,
+  kKindCount = 16,
 };
 
 // flags values for kReserveDeposit / kReserveWithdraw.
@@ -90,6 +98,10 @@ inline constexpr uint8_t kReserveOpDecayLeak = 2;
 
 // flags value for kSchedPick: the quantum was replayed from a run plan.
 inline constexpr uint8_t kSchedPickPlanned = 1;
+
+// flags value for kBoundarySettle: the parent ran the fused serial fallback
+// instead of lane settlement this batch.
+inline constexpr uint8_t kBoundarySettleFused = 1;
 
 // flags values for kSchedPlanBuild: why the plan ended where it did.
 inline constexpr uint8_t kSchedPlanEndHorizon = 0;   // Ran the requested K.

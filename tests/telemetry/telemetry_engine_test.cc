@@ -109,6 +109,46 @@ TEST(TelemetryEngineTest, FlowByShardJoinsPlanAndBatchRecords) {
   EXPECT_EQ(decay_sum, reader.TotalDecayFlow());
 }
 
+TEST(TelemetryEngineTest, BoundarySettleRecordsAccountCutSettlement) {
+  // A charged relay chain is one component whose every tap is a bridge; a
+  // cut threshold carves it into bounded sub-shards, and every batch then
+  // emits one kBoundarySettle record from the serial settlement.
+  SimConfig cfg = FleetConfig(2);
+  cfg.exec.shard_cut_threshold = 16;
+  Simulator sim(cfg);
+  Kernel& kernel = sim.kernel();
+  Reserve* prev = kernel.Create<Reserve>(kernel.root_container_id(), Label(Level::k1), "head");
+  prev->Deposit(ToQuantity(Energy::Joules(4000.0)));
+  for (int i = 1; i <= 96; ++i) {
+    Reserve* next = kernel.Create<Reserve>(kernel.root_container_id(), Label(Level::k1), "hop");
+    next->Deposit(ToQuantity(Energy::Joules(3.0 + i % 7)));
+    Tap* relay = kernel.Create<Tap>(kernel.root_container_id(), Label(Level::k1), "relay",
+                                    prev->id(), next->id());
+    relay->SetConstantPower(Power::Milliwatts(1 + (i * 5) % 17));
+    ASSERT_TRUE(sim.taps().Register(relay->id()));
+    prev = next;
+  }
+  sim.Run(Duration::Seconds(2));
+  const uint64_t cuts = sim.taps().boundary_cut_count();
+  ASSERT_GT(cuts, 0u);
+  // Every hop is funded, so settlement stays on the lane path throughout.
+  ASSERT_FALSE(sim.taps().AnyCutParentFused());
+
+  sim.telemetry().FlushFrame();
+  TraceReader reader = TraceReader::FromDomain(sim.telemetry());
+  ASSERT_EQ(reader.dropped(), 0u);
+  EXPECT_GT(reader.BoundarySettles(), 0u);
+  EXPECT_EQ(reader.FusedSettles(), 0u);
+  // One settle per cut parent per batch (the chain is one parent), each
+  // applying every one of its boundary lanes.
+  EXPECT_EQ(reader.BoundaryLanesApplied(), reader.BoundarySettles() * cuts);
+  // Boundary flow crossed the cuts and is a subset of the engine-exact total.
+  EXPECT_GT(reader.BoundaryFlow(), 0);
+  EXPECT_LE(reader.BoundaryFlow(), reader.TotalTapFlow());
+  EXPECT_EQ(reader.TotalTapFlow(), sim.taps().total_tap_flow());
+  EXPECT_EQ(reader.TotalDecayFlow(), sim.taps().total_decay_flow());
+}
+
 TEST(TelemetryEngineTest, ShardTimelineCumulatesToShardTotal) {
   Simulator sim(FleetConfig(2));
   BuildPhones(sim, 4);

@@ -13,9 +13,14 @@
 //   energytop <trace-file> --once             drain what's on disk, summarize
 //   energytop <trace-file> --poll-ms N        poll cadence (default 200)
 //   energytop <trace-file> --window-frames N  frames per window (default 16)
+//   energytop <trace-file> --alarms N         also print a scrollback of the
+//                                             last N alarms with window ids
+//                                             (bounded by the monitor's
+//                                             retention, currently 64)
 //
 // Exits 0 on success (including a clean --once on an unfinished stream),
 // 1 on a read error, 2 on a usage error.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,7 @@
 
 #include "src/telemetry/health_monitor.h"
 #include "src/telemetry/live_aggregator.h"
+#include "src/telemetry/trace_record.h"
 #include "tools/trace_follow.h"
 
 namespace {
@@ -33,7 +39,9 @@ double Mj(double nj) { return nj / 1e6; }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <trace-file> [--once] [--poll-ms N] [--window-frames N]\n", argv0);
+               "usage: %s <trace-file> [--once] [--poll-ms N] [--window-frames N] "
+               "[--alarms N]\n",
+               argv0);
   return 2;
 }
 
@@ -47,6 +55,7 @@ int main(int argc, char** argv) {
   bool once = false;
   uint32_t poll_ms = 200;
   uint32_t window_frames = 16;
+  size_t alarm_scrollback = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
       poll_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--window-frames") == 0 && i + 1 < argc) {
       window_frames = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--alarms") == 0 && i + 1 < argc) {
+      alarm_scrollback = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
     }
@@ -87,8 +98,26 @@ int main(int argc, char** argv) {
   cinder::tools::FollowOptions opts;
   opts.poll_ms = poll_ms;
   opts.once = once;
+  // Boundary-settlement accounting (articulation cuts) rides alongside the
+  // aggregator: one kBoundarySettle record per cut parent per batch.
+  uint64_t boundary_settles = 0;
+  int64_t boundary_flow = 0;
+  uint64_t boundary_lanes = 0;
+  uint64_t boundary_fused = 0;
   const auto result = cinder::tools::FollowTraceFile(
-      path, opts, [&](const cinder::TraceRecord& r) { agg.OnRecord(r); }, &error);
+      path, opts,
+      [&](const cinder::TraceRecord& r) {
+        if (r.kind == static_cast<uint8_t>(cinder::RecordKind::kBoundarySettle)) {
+          ++boundary_settles;
+          boundary_flow += r.v0;
+          boundary_lanes += static_cast<uint64_t>(r.v1);
+          if ((r.flags & cinder::kBoundarySettleFused) != 0) {
+            ++boundary_fused;
+          }
+        }
+        agg.OnRecord(r);
+      },
+      &error);
   if (result == cinder::tools::FollowResult::kError) {
     std::fprintf(stderr, "energytop: %s\n", error.c_str());
     return 1;
@@ -107,6 +136,11 @@ int main(int argc, char** argv) {
               " planned, %" PRIu64 " plan builds)\n",
               Mj(agg.TotalTapFlow()), Mj(agg.TotalDecayFlow()), agg.SchedPicks(),
               agg.SchedIdlePicks(), agg.SchedPlannedPicks(), agg.SchedPlanBuilds());
+  if (boundary_settles > 0) {
+    std::printf("boundary: %" PRIu64 " settles, %.3f mJ across cuts, %" PRIu64
+                " lanes applied, %" PRIu64 " fused fallbacks\n",
+                boundary_settles, Mj(boundary_flow), boundary_lanes, boundary_fused);
+  }
 
   const auto shards = agg.shard_live();
   size_t active = 0;
@@ -169,6 +203,20 @@ int main(int argc, char** argv) {
       const auto kind = static_cast<cinder::AlarmKind>(k);
       if (monitor.count(kind) > 0) {
         std::printf("  %-18s %" PRIu64 "\n", cinder::AlarmKindName(kind), monitor.count(kind));
+      }
+    }
+    if (alarm_scrollback > 0) {
+      // Bounded scrollback: the monitor retains the most recent alarms (64
+      // by default), oldest first; show the tail the user asked for.
+      const auto& retained = monitor.alarms();
+      const size_t shown = std::min(alarm_scrollback, retained.size());
+      std::printf("  last %zu of %" PRIu64 " (monitor retains %zu):\n", shown,
+                  monitor.total_alarms(), retained.size());
+      for (size_t i = retained.size() - shown; i < retained.size(); ++i) {
+        const cinder::Alarm& a = retained[i];
+        std::printf("    window %-5" PRIu64 " %-18s subject %-6u value %" PRId64
+                    " bound %" PRId64 "\n",
+                    a.window, cinder::AlarmKindName(a.kind), a.subject, a.value, a.bound);
       }
     }
   } else {
